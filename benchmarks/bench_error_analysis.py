@@ -1,0 +1,41 @@
+"""Benchmark — error-growth analysis (Sec. II background, quantified).
+
+Not a numbered paper artifact, but the statistical foundation of the
+paper's argument: RN's stagnation-driven error blowup vs SR's ~sqrt(n)
+growth, and the r-dependent truncation bias.
+"""
+
+from repro.analysis import (
+    error_growth_curve,
+    growth_exponent,
+    rbits_bias_curve,
+)
+from repro.fp.formats import FP12_E6M5
+
+
+def test_error_growth_exponents(benchmark):
+    curves = benchmark.pedantic(
+        error_growth_curve,
+        args=(FP12_E6M5,),
+        kwargs={"sizes": [64, 256, 1024], "rbits": 13, "trials": 4},
+        rounds=1, iterations=1,
+    )
+    rn_slope = growth_exponent(curves["rn"])
+    sr_slope = growth_exponent(curves["sr"])
+    print(f"\nlog-log error growth: RN {rn_slope:.2f}, SR {sr_slope:.2f}")
+    assert sr_slope < rn_slope
+    assert curves["sr"][-1].relative_error < curves["rn"][-1].relative_error
+
+
+def test_rbits_truncation_bias(benchmark):
+    fmt = FP12_E6M5
+    value = 1.0 + fmt.machine_eps / 64
+    biases = benchmark.pedantic(
+        rbits_bias_curve, args=(fmt, value),
+        kwargs={"rbits_values": [4, 9, 13], "trials": 3000},
+        rounds=1, iterations=1,
+    )
+    print(f"\nbias vs r: { {r: f'{b:+.2e}' for r, b in biases.items()} }")
+    # r=4 cannot represent P = 1/64: SR degenerates to exact truncation.
+    assert biases[4] == -fmt.machine_eps / 64
+    assert abs(biases[13]) < abs(biases[4]) / 4

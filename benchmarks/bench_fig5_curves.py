@@ -1,0 +1,20 @@
+"""Benchmark E6 — Fig. 5: MAC-level area/delay/energy curves."""
+
+from repro.experiments.hardware import format_fig5, run_fig5
+
+
+def test_fig5_regeneration(benchmark):
+    series = benchmark(run_fig5)
+    print()
+    print(format_fig5(series))
+
+    for metric, groups in series.items():
+        for label, values in groups.items():
+            # monotone decreasing across E8M23 -> E5M10 -> E8M7 -> E6M5
+            assert values == sorted(values, reverse=True), (metric, label)
+        for sub in ("Sub ON", "Sub OFF"):
+            rn = groups[f"RN, {sub}"]
+            lazy = groups[f"SR lazy, {sub}"]
+            eager = groups[f"SR eager, {sub}"]
+            assert all(e < l for e, l in zip(eager, lazy))
+            assert all(n <= e for n, e in zip(rn, eager))

@@ -1,0 +1,103 @@
+"""Microbenchmarks: emulation throughput of the core primitives.
+
+Not paper artifacts, but the numbers a user of the library cares about:
+quantizer throughput (reference vs bit-twiddling fast path), emulated
+GEMM MAC rates per rounding mode, scalar adder model speed, and LFSR
+generation rates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.emu import GemmConfig, matmul
+from repro.fp.fastquant import quantize_fast
+from repro.fp.formats import FP12_E6M5
+from repro.fp.quantize import quantize
+from repro.prng.lfsr import GaloisLFSR, VectorLFSR
+from repro.rtl.adder_rn import FPAdderRN
+from repro.rtl.adder_sr_eager import FPAdderSREager
+from repro.rtl.adder_sr_lazy import FPAdderSRLazy
+from repro.rtl.mac import MACConfig, MACUnit
+
+
+@pytest.fixture(scope="module")
+def big_array():
+    return np.random.default_rng(7).normal(size=200_000)
+
+
+class TestQuantizerThroughput:
+    def test_reference_quantize_rn(self, benchmark, big_array):
+        benchmark(quantize, big_array, FP12_E6M5, "nearest")
+
+    def test_fast_quantize_rn(self, benchmark, big_array):
+        benchmark(quantize_fast, big_array, FP12_E6M5, "nearest")
+
+    def test_fast_quantize_sr(self, benchmark, big_array):
+        rng = np.random.default_rng(1)
+        benchmark(quantize_fast, big_array, FP12_E6M5, "stochastic",
+                  rng=rng, rbits=9)
+
+
+class TestGemmThroughput:
+    A = np.random.default_rng(3).normal(size=(256, 64))
+    B = np.random.default_rng(4).normal(size=(64, 64))
+
+    def test_fp32_baseline(self, benchmark):
+        benchmark(matmul, self.A, self.B, GemmConfig.fp32_baseline())
+
+    def test_rn_e6m5(self, benchmark):
+        benchmark(matmul, self.A, self.B, GemmConfig.rn(FP12_E6M5))
+
+    def test_sr_e6m5_r9(self, benchmark):
+        benchmark(matmul, self.A, self.B, GemmConfig.sr(9, subnormals=False))
+
+    def test_sr_one_shot_ablation(self, benchmark):
+        config = GemmConfig.sr(9, subnormals=False)
+        config.per_step = False
+        benchmark(matmul, self.A, self.B, config)
+
+
+class TestScalarAdderModels:
+    XS = [1.5, -0.75, 3.25, 0.0078125, -1.0]
+    YS = [0.625, 2.0, -3.25, 1.0, 0.99951171875]
+
+    def _sweep(self, adder, needs_random):
+        total = 0.0
+        for x in self.XS:
+            for y in self.YS:
+                try:
+                    if needs_random:
+                        total += adder.add(x, y, 137 % (1 << adder.rbits)).value
+                    else:
+                        total += adder.add(x, y).value
+                except ValueError:
+                    pass
+        return total
+
+    def test_rn_adder(self, benchmark):
+        adder = FPAdderRN(FP12_E6M5)
+        benchmark(self._sweep, adder, False)
+
+    def test_lazy_sr_adder(self, benchmark):
+        adder = FPAdderSRLazy(FP12_E6M5, 9)
+        benchmark(self._sweep, adder, True)
+
+    def test_eager_sr_adder(self, benchmark):
+        adder = FPAdderSREager(FP12_E6M5, 9)
+        benchmark(self._sweep, adder, True)
+
+    def test_mac_unit_dot(self, benchmark):
+        mac = MACUnit(MACConfig(6, 5, "sr_eager", False, 9), seed=1)
+        xs = [0.5, -1.5, 2.0, 0.25] * 8
+        ws = [1.0, 0.5, -0.25, 2.0] * 8
+        benchmark(mac.dot, xs, ws)
+
+
+class TestLfsrThroughput:
+    def test_scalar_lfsr(self, benchmark):
+        lfsr = GaloisLFSR(13, seed=5)
+        benchmark(lfsr.sequence, 1000)
+
+    def test_vector_lfsr(self, benchmark):
+        bank = VectorLFSR(13, lanes=4096, seed=5)
+        benchmark(bank.draw, (100, 100))

@@ -1,0 +1,37 @@
+"""Benchmark — systolic-array extension (paper's future-work claim).
+
+Quantifies how the eager design's per-MAC savings compound across an
+8x8 output-stationary array, and measures the behavioral array's
+emulation throughput.
+"""
+
+import numpy as np
+
+from repro.rtl.systolic import SystolicArray, SystolicConfig, array_comparison
+
+
+def test_array_level_comparison(benchmark):
+    results = benchmark.pedantic(array_comparison,
+                                 kwargs={"rows": 8, "cols": 8},
+                                 rounds=1, iterations=1)
+    print()
+    print(f"{'design':<10}{'area um2':>12}{'delay ns':>10}"
+          f"{'energy':>9}{'area*delay/MAC':>16}")
+    for design, values in results.items():
+        print(f"{design:<10}{values['area_um2']:12.0f}"
+              f"{values['delay_ns']:10.2f}{values['energy_nw_mhz']:9.2f}"
+              f"{values['area_delay_per_mac']:16.1f}")
+    saving = 1 - (results["sr_eager"]["area_um2"]
+                  / results["sr_lazy"]["area_um2"])
+    print(f"\n64-PE eager-vs-lazy area saving: {100 * saving:.1f}% "
+          f"({results['sr_lazy']['area_um2'] - results['sr_eager']['area_um2']:.0f} um2 absolute)")
+    assert results["sr_eager"]["area_um2"] < results["sr_lazy"]["area_um2"]
+
+
+def test_behavioral_array_throughput(benchmark):
+    array = SystolicArray(SystolicConfig(8, 8), seed=1)
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(32, 64))
+    b = rng.normal(size=(64, 32))
+    benchmark(array.matmul, a, b)
+    assert array.cycles > 0

@@ -1,0 +1,41 @@
+"""Benchmark E1 — Table I: ASIC cost of the 24 adder configurations.
+
+Regenerates every row of Table I through the calibrated 28nm-class cost
+model and checks the paper's qualitative claims on the measured numbers.
+Run with ``pytest benchmarks/bench_table1_asic.py --benchmark-only``.
+"""
+
+import pytest
+
+from repro.experiments import records
+from repro.experiments.hardware import format_table1, headline_savings, run_table1
+
+
+def test_table1_regeneration(benchmark):
+    rows = benchmark(run_table1)
+    print()
+    print(format_table1(rows))
+
+    assert len(rows) == 24
+    by_key = {r.key: r for r in rows}
+    for key, row in by_key.items():
+        rounding, sub, e, m, r = key
+        # eager always beats lazy (paper Sec. III-C2)
+        if rounding == "sr_lazy":
+            eager = by_key[("sr_eager", sub, e, m, r)]
+            assert eager.area_um2 < row.area_um2
+            assert eager.delay_ns < row.delay_ns
+        # every prediction within 25% of the published number
+        paper = records.TABLE1[key]
+        assert abs(row.area_um2 / paper.area_um2 - 1) < 0.25
+        assert abs(row.delay_ns / paper.delay_ns - 1) < 0.25
+
+
+def test_headline_savings(benchmark):
+    savings = benchmark(headline_savings)
+    print()
+    for reference, values in savings.items():
+        pretty = ", ".join(f"{k}={100 * v:.1f}%" for k, v in values.items())
+        print(f"  {reference}: {pretty}")
+    assert savings["vs_fp32"]["area"] > 0.38
+    assert savings["vs_fp16"]["delay"] > 0.15

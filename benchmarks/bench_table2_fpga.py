@@ -1,0 +1,18 @@
+"""Benchmark E2 — Table II: FPGA implementation of the four designs."""
+
+from repro.experiments.hardware import format_table2, run_table2
+
+
+def test_table2_regeneration(benchmark):
+    rows = benchmark(run_table2)
+    print()
+    print(format_table2(rows))
+
+    by_rounding = {r.config.rounding: r for r in rows}
+    # eager beats lazy on LUTs and delay (Table II's point)
+    assert by_rounding["sr_eager"].luts < by_rounding["sr_lazy"].luts
+    assert by_rounding["sr_eager"].delay_ns < by_rounding["sr_lazy"].delay_ns
+    # within 25% of Vivado's published numbers
+    for row in rows:
+        assert abs(row.luts / row.paper.luts - 1) < 0.25
+        assert abs(row.delay_ns / row.paper.delay_ns - 1) < 0.25

@@ -1,0 +1,22 @@
+"""Benchmark E5 — Table V: hardware overhead vs number of random bits."""
+
+from repro.experiments.hardware import format_table5, run_table5
+
+
+def test_table5_regeneration(benchmark):
+    rows = benchmark(run_table5)
+    print()
+    print(format_table5(rows))
+
+    sr_rows = [r for r in rows if r.label.startswith("SR")]
+    areas = [r.area_um2 for r in sr_rows]
+    energies = [r.energy for r in sr_rows]
+    delays = [r.delay_ns for r in sr_rows]
+    # area and energy grow with r; delay is nearly flat
+    assert areas == sorted(areas)
+    assert energies == sorted(energies)
+    assert max(delays) - min(delays) < 0.15 * min(delays)
+    # even r=13 stays well under the FP16 RN reference
+    fp16 = next(r for r in rows if "E5M10" in r.label)
+    assert sr_rows[-1].area_um2 < fp16.area_um2
+    assert sr_rows[-1].delay_ns < fp16.delay_ns

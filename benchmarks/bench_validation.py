@@ -1,0 +1,27 @@
+"""Benchmark E7 — Sec. III-B: brute-force eager SR validation."""
+
+from repro.experiments.validation import monte_carlo_validation, validate_eager_sr
+
+
+def test_exhaustive_validation(benchmark):
+    report = benchmark.pedantic(
+        validate_eager_sr, kwargs={"pair_stride": 8, "rbits": 6},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(report.summary())
+    assert report.passed
+    assert report.pairs_tested >= 500
+
+
+def test_monte_carlo_validation_paper_procedure(benchmark):
+    """The paper's setup (input pairs x random draws) at reduced count."""
+    report = benchmark.pedantic(
+        monte_carlo_validation,
+        kwargs={"n_pairs": 300, "n_draws": 200, "rbits": 9},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(report.summary())
+    assert report.probability_mismatches == 0
+    assert report.max_probability_error < 0.20  # 5-sigma at 200 draws

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Eager vs lazy SR adders: equivalence proof and hardware comparison.
+
+Reproduces the paper's Sec. III-B validation — brute-force testing of the
+eager design against the stochastic rounding definition — then shows
+where the eager design's savings come from, format by format.
+
+Run:  python examples/eager_vs_lazy.py
+"""
+
+import itertools
+
+from repro.experiments.validation import monte_carlo_validation, validate_eager_sr
+from repro.fp.encode import all_finite_values
+from repro.fp.formats import FPFormat
+from repro.rtl import (
+    FPAdderSREager,
+    FPAdderSRLazy,
+    MACConfig,
+    build_adder_netlist,
+)
+from repro.synth import calibrated_asic_tech
+
+
+def main():
+    print("=== Exhaustive equivalence (every pair x every draw) ===")
+    fmt = FPFormat(3, 2)
+    rbits = 5
+    lazy = FPAdderSRLazy(fmt, rbits)
+    eager = FPAdderSREager(fmt, rbits)
+    values = all_finite_values(fmt)
+    checked = mismatched = 0
+    for x, y in itertools.product(values, values):
+        for draw in range(1 << rbits):
+            a = lazy.add(float(x), float(y), draw).value
+            b = eager.add(float(x), float(y), draw).value
+            checked += 1
+            if a != b and not (a != a and b != b):
+                mismatched += 1
+    print(f"E3M2, r=5: {checked} additions checked, "
+          f"{mismatched} eager/lazy mismatches")
+
+    print("\n=== Sec. III-B probability validation (exhaustive draws) ===")
+    report = validate_eager_sr(fmt=FPFormat(4, 3), rbits=6, pair_stride=4)
+    print(report.summary())
+
+    print("\n=== Sec. III-B Monte Carlo procedure (paper's setup, reduced) ===")
+    mc = monte_carlo_validation(n_pairs=1000, n_draws=500, rbits=9)
+    print(mc.summary())
+    print(f"max |measured - analytic| frequency error: "
+          f"{mc.max_probability_error:.4f}")
+
+    print("\n=== Where the eager savings come from ===")
+    tech = calibrated_asic_tech()
+    print(f"{'format':<8}{'design':<10}{'area um2':>10}{'delay ns':>10}"
+          f"{'LZD width':>11}{'norm width':>12}")
+    for e_bits, m_bits in ((8, 23), (5, 10), (8, 7), (6, 5)):
+        for rounding in ("sr_lazy", "sr_eager"):
+            config = MACConfig(e_bits, m_bits, rounding, False, m_bits + 4)
+            netlist = build_adder_netlist(config)
+            report = tech.synthesize(netlist)
+            lzd = next(c for c in netlist.components() if c.kind == "lzd")
+            norm = max((c.width for c in netlist.components()
+                        if c.name.startswith("norm_shift")), default=0)
+            print(f"E{e_bits}M{m_bits:<5}{rounding:<10}{report.area_um2:10.1f}"
+                  f"{report.delay_ns:10.2f}{lzd.width:>11}{norm:>12}")
+    print("\nThe lazy design drags p + r bits through LZD/normalization and")
+    print("adds all r random bits after normalization; eager keeps the")
+    print("datapath at p + 2 and leaves only a 2-bit Round Correction on")
+    print("the critical path (Figs. 3-4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Full hardware evaluation report: Tables I, II, V and Fig. 5.
+
+Elaborates every adder/MAC netlist, costs it with the calibrated ASIC and
+FPGA technology models, and prints each paper artifact next to the
+published values, followed by a per-stage netlist breakdown of the three
+E6M5 designs.
+
+Run:  python examples/hardware_report.py
+"""
+
+from repro.experiments.hardware import (
+    format_fig5,
+    format_table1,
+    format_table2,
+    format_table5,
+    headline_savings,
+    run_fig5,
+    run_table1,
+    run_table2,
+    run_table5,
+)
+from repro.rtl import MACConfig, build_adder_netlist
+
+
+def main():
+    print("=" * 78)
+    print("Table I — ASIC cost, 24 adder configurations (model vs paper)")
+    print("=" * 78)
+    print(format_table1(run_table1()))
+
+    print()
+    print("=" * 78)
+    print("Table II — FPGA implementation (model vs paper)")
+    print("=" * 78)
+    print(format_table2(run_table2()))
+
+    print()
+    print("=" * 78)
+    print("Table V — overhead vs number of random bits")
+    print("=" * 78)
+    print(format_table5(run_table5()))
+
+    print()
+    print("=" * 78)
+    print("Fig. 5 — MAC-level cost curves")
+    print("=" * 78)
+    print(format_fig5(run_fig5()))
+
+    print("=" * 78)
+    print("Headline savings (eager E6M5 SR w/o subnormals)")
+    print("=" * 78)
+    for reference, values in headline_savings().items():
+        pretty = ", ".join(f"{k} {100 * v:.1f}%" for k, v in values.items())
+        print(f"  {reference:<20} {pretty}")
+
+    print()
+    print("=" * 78)
+    print("Netlist breakdowns (E6M5, r = 9)")
+    print("=" * 78)
+    for rounding in ("rn", "sr_lazy", "sr_eager"):
+        rbits = 0 if rounding == "rn" else 9
+        netlist = build_adder_netlist(MACConfig(6, 5, rounding, False, rbits))
+        print()
+        print(netlist.report())
+
+
+if __name__ == "__main__":
+    main()

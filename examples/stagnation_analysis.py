@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Stagnation and error-growth analysis (the paper's Sec. II, measured).
+
+Three experiments on the E6M5 accumulator format:
+
+1. the stagnation curve — recursive RN summation of a constant term
+   plateaus exactly at the predicted threshold, SR keeps going;
+2. error growth vs n — RN's relative error explodes once sums stagnate,
+   SR's grows like ~sqrt(n) (the probabilistic bound of the SR
+   literature the paper builds on);
+3. bias vs r — the measured signed rounding bias collapses to pure
+   truncation once eps_x < 2^-r, the mechanism behind Table III's r=4
+   failure.
+
+Run:  python examples/stagnation_analysis.py
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    error_growth_curve,
+    growth_exponent,
+    rbits_bias_curve,
+    stagnation_curve,
+    stagnation_threshold,
+)
+from repro.fp import FP12_E6M5, RoundingPolicy
+
+
+def ascii_plot(series, width=60, label=""):
+    """One-line-per-sample bar chart."""
+    peak = max(max(values) for values in series.values())
+    print(f"  {label} (full bar = {peak:.1f})")
+    names = list(series)
+    length = len(series[names[0]])
+    for i in range(0, length, max(1, length // 12)):
+        row = "   "
+        for name in names:
+            bar = int(width * series[name][i] / peak)
+            row += f"{name}:{series[name][i]:9.1f} |{'#' * bar:<{width}}| "
+        print(row)
+
+
+def main():
+    fmt = FP12_E6M5
+    term = 1.0 / 64
+    steps = 6000
+
+    print("=== 1. Stagnation curves (adding 1/64 repeatedly) ===")
+    threshold = stagnation_threshold(fmt, term)
+    print(f"predicted RN stagnation threshold: {threshold:.2f}")
+    rn_curve = stagnation_curve(fmt, term, steps, RoundingPolicy.rn(fmt))
+    sr_curve = stagnation_curve(fmt, term, steps,
+                                RoundingPolicy.sr(fmt, 13, seed=1))
+    print(f"exact sum after {steps} steps: {steps * term:.2f}")
+    print(f"RN final value : {rn_curve[-1]:.2f}  (plateaued)")
+    print(f"SR final value : {sr_curve[-1]:.2f}")
+    ascii_plot({"RN": rn_curve, "SR": sr_curve}, width=40,
+               label="accumulator trajectory")
+
+    print("\n=== 2. Error growth vs number of terms ===")
+    curves = error_growth_curve(fmt, sizes=[64, 256, 1024, 4096],
+                                rbits=13, trials=6, seed=0)
+    print(f"{'n':>6}{'RN rel err':>14}{'SR rel err':>14}")
+    for rn_sample, sr_sample in zip(curves["rn"], curves["sr"]):
+        print(f"{rn_sample.n_terms:>6}{rn_sample.relative_error:14.5f}"
+              f"{sr_sample.relative_error:14.5f}")
+    print(f"log-log growth exponents: RN {growth_exponent(curves['rn']):.2f}"
+          f", SR {growth_exponent(curves['sr']):.2f}")
+
+    print("\n=== 3. Rounding bias vs r (the Table III mechanism) ===")
+    value = 1.0 + fmt.machine_eps / 64  # eps_x = 1/64
+    biases = rbits_bias_curve(fmt, value, rbits_values=[4, 7, 9, 11, 13],
+                              trials=6000, seed=0)
+    print(f"rounding 1 + eps/64 (ideal bias 0, truncation bias "
+          f"{-fmt.machine_eps / 64:.2e})")
+    for rbits, bias in biases.items():
+        marker = "  <- pure truncation!" if rbits == 4 else ""
+        print(f"  r={rbits:>2}: measured bias {bias:+.3e}{marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""The paper's central tradeoff: random bits r vs accuracy vs hardware.
+
+Sweeps r for the E6M5 eager-SR design and reports, side by side:
+
+* training accuracy of a small CNN with r-bit SR accumulation
+  (the Table III axis), and
+* area / delay / energy of the adder from the calibrated cost model
+  (the Table V axis).
+
+Run:  python examples/sweep_random_bits.py [--epochs 8]
+"""
+
+import argparse
+
+from repro.data import loaders_for, make_cifar10_like
+from repro.emu import GemmConfig, QuantizedGemm
+from repro.models import SimpleCNN
+from repro.nn import Trainer
+from repro.rtl import MACConfig, build_adder_netlist
+from repro.synth import calibrated_asic_tech
+
+
+def accuracy_for(rbits, dataset, epochs):
+    gemm = QuantizedGemm(GemmConfig.sr(rbits, subnormals=False, seed=3))
+    model = SimpleCNN(dataset.num_classes, width=8, gemm=gemm, seed=1)
+    train_loader, test_loader = loaders_for(dataset, batch_size=128, seed=0)
+    trainer = Trainer(model, lr=0.05, epochs=epochs, weight_decay=1e-4)
+    return 100.0 * trainer.fit(train_loader, test_loader).final_accuracy
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=8)
+    parser.add_argument("--n-train", type=int, default=640)
+    args = parser.parse_args()
+
+    dataset = make_cifar10_like(args.n_train, 200, 8, seed=0)
+    tech = calibrated_asic_tech()
+
+    print(f"{'r':>3}{'accuracy %':>12}{'area um2':>10}{'delay ns':>10}"
+          f"{'energy':>8}")
+    for rbits in (4, 7, 9, 11, 13):
+        config = MACConfig(6, 5, "sr_eager", False, rbits)
+        hw = tech.synthesize(build_adder_netlist(config))
+        acc = accuracy_for(rbits, dataset, args.epochs)
+        print(f"{rbits:>3}{acc:12.2f}{hw.area_um2:10.1f}{hw.delay_ns:10.2f}"
+              f"{hw.energy_nw_mhz:8.2f}")
+
+    # Reference rows, as in Table V
+    for label, cfg in (("FP16 RN", MACConfig(5, 10, "rn", True, 0)),
+                       ("FP32 RN", MACConfig(8, 23, "rn", True, 0))):
+        hw = tech.synthesize(build_adder_netlist(cfg))
+        print(f"{label:>3}{'-':>12}{hw.area_um2:10.1f}{hw.delay_ns:10.2f}"
+              f"{hw.energy_nw_mhz:8.2f}")
+    print("\nShape to look for: accuracy climbs steeply from r=4 and")
+    print("saturates near the baseline by r=13, while area/energy grow")
+    print("only mildly and delay stays flat (Tables III + V).")
+
+
+if __name__ == "__main__":
+    main()

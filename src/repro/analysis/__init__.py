@@ -1,0 +1,23 @@
+"""Empirical error analysis of low-precision accumulation (Sec. II)."""
+
+from .errors import (
+    ErrorSample,
+    bias_estimate,
+    error_growth_curve,
+    growth_exponent,
+    rbits_bias_curve,
+    stagnation_curve,
+    stagnation_threshold,
+    variance_reduction_over_algorithms,
+)
+
+__all__ = [
+    "ErrorSample",
+    "stagnation_threshold",
+    "stagnation_curve",
+    "error_growth_curve",
+    "growth_exponent",
+    "bias_estimate",
+    "rbits_bias_curve",
+    "variance_reduction_over_algorithms",
+]

@@ -1,0 +1,13 @@
+"""Synthetic datasets and batch loading."""
+
+from .loaders import BatchLoader, augment, loaders_for
+from .synthetic import Dataset, make_cifar10_like, make_imagewoof_like
+
+__all__ = [
+    "Dataset",
+    "make_cifar10_like",
+    "make_imagewoof_like",
+    "BatchLoader",
+    "augment",
+    "loaders_for",
+]

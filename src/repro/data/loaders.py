@@ -1,0 +1,80 @@
+"""Batch iteration and light augmentation for the training loops."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .synthetic import Dataset
+
+Batch = Tuple[np.ndarray, np.ndarray]
+
+
+def augment(images: np.ndarray, rng: np.random.Generator,
+            max_shift: int = 1) -> np.ndarray:
+    """Random horizontal flips and +/-1 pixel shifts (CIFAR-style)."""
+    out = images.copy()
+    flips = rng.random(out.shape[0]) < 0.5
+    out[flips] = out[flips, :, :, ::-1]
+    shifts = rng.integers(-max_shift, max_shift + 1, size=(out.shape[0], 2))
+    for i, (dy, dx) in enumerate(shifts):
+        if dy or dx:
+            out[i] = np.roll(out[i], (int(dy), int(dx)), axis=(1, 2))
+    return out
+
+
+class BatchLoader:
+    """Reusable, shuffling mini-batch iterator.
+
+    Calling the loader returns a fresh iterator, so it can serve as the
+    ``train_loader_fn`` / ``test_loader_fn`` of
+    :class:`repro.nn.trainer.Trainer`.
+    """
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray,
+                 batch_size: int = 128, shuffle: bool = True,
+                 augment_data: bool = False, seed: int = 0,
+                 drop_last: bool = False):
+        self.images = np.asarray(images, dtype=np.float64)
+        self.labels = np.asarray(labels, dtype=np.int64)
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.augment_data = augment_data
+        self.rng = np.random.default_rng(seed)
+        self.drop_last = drop_last
+
+    def __call__(self) -> Iterator[Batch]:
+        return iter(self)
+
+    def __iter__(self) -> Iterator[Batch]:
+        count = self.images.shape[0]
+        order = np.arange(count)
+        if self.shuffle:
+            self.rng.shuffle(order)
+        for start in range(0, count, self.batch_size):
+            idx = order[start:start + self.batch_size]
+            if self.drop_last and idx.shape[0] < self.batch_size:
+                break
+            batch_images = self.images[idx]
+            if self.augment_data:
+                batch_images = augment(batch_images, self.rng)
+            yield batch_images, self.labels[idx]
+
+    def __len__(self) -> int:
+        count = self.images.shape[0]
+        if self.drop_last:
+            return count // self.batch_size
+        return -(-count // self.batch_size)
+
+
+def loaders_for(dataset: Dataset, batch_size: int = 128,
+                augment_train: bool = True, seed: int = 0
+                ) -> Tuple[BatchLoader, BatchLoader]:
+    """Standard train/test loader pair for a dataset."""
+    train = BatchLoader(dataset.train_images, dataset.train_labels,
+                        batch_size=batch_size, shuffle=True,
+                        augment_data=augment_train, seed=seed)
+    test = BatchLoader(dataset.test_images, dataset.test_labels,
+                       batch_size=batch_size, shuffle=False)
+    return train, test

@@ -1,0 +1,123 @@
+"""Procedural image-classification datasets.
+
+CIFAR-10 and Imagewoof cannot be downloaded in the offline reproduction
+environment, so the training experiments use procedurally generated
+class-conditional images that exercise the same code paths (multi-channel
+convolutions, augmentation, multi-epoch SGD) with controllable difficulty
+(see DESIGN.md, substitution 4).
+
+Each class is defined by a random *prototype*: an oriented sinusoidal
+grating with class-specific frequency, orientation and phase, mixed with
+a class-colored Gaussian blob at a class-specific position.  Samples add
+per-sample jitter (random shifts, contrast scaling, blob wobble) plus
+Gaussian pixel noise.  The ``noise``/``jitter`` knobs set the Bayes floor:
+the CIFAR-like preset is separable but non-trivial; the Imagewoof-like
+preset uses near-collided prototypes (all classes share a base texture,
+like dog breeds sharing dogness) so accuracies land well below 100%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass
+class Dataset:
+    """Arrays + metadata for one train/test split."""
+
+    train_images: np.ndarray  # (N, C, H, W) float64 in [-1, 1] ish
+    train_labels: np.ndarray  # (N,) int64
+    test_images: np.ndarray
+    test_labels: np.ndarray
+    num_classes: int
+    name: str = "synthetic"
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        return self.train_images.shape[1:]
+
+
+class _ClassPrototypes:
+    """Per-class generative parameters."""
+
+    def __init__(self, num_classes: int, size: int, channels: int,
+                 rng: np.random.Generator, base_mix: float = 0.0):
+        self.num_classes = num_classes
+        self.size = size
+        self.channels = channels
+        self.freq = rng.uniform(1.0, 3.0, size=num_classes)
+        self.theta = rng.uniform(0, np.pi, size=num_classes)
+        self.phase = rng.uniform(0, 2 * np.pi, size=num_classes)
+        self.color = rng.normal(0, 1, size=(num_classes, channels))
+        self.color /= np.linalg.norm(self.color, axis=1, keepdims=True)
+        self.blob_pos = rng.uniform(0.2, 0.8, size=(num_classes, 2))
+        # A shared base texture all classes mix with (raises difficulty).
+        self.base_mix = base_mix
+        self.base_theta = rng.uniform(0, np.pi)
+        self.base_freq = rng.uniform(1.5, 2.5)
+
+    def render(self, label: int, rng: np.random.Generator,
+               jitter: float) -> np.ndarray:
+        size = self.size
+        ys, xs = np.mgrid[0:size, 0:size] / size
+        theta = self.theta[label] + rng.normal(0, 0.08 * jitter)
+        freq = self.freq[label] * (1 + rng.normal(0, 0.05 * jitter))
+        phase = self.phase[label] + rng.normal(0, 0.3 * jitter)
+        axis = xs * np.cos(theta) + ys * np.sin(theta)
+        grating = np.sin(2 * np.pi * freq * axis + phase)
+        if self.base_mix > 0:
+            base_axis = xs * np.cos(self.base_theta) + ys * np.sin(self.base_theta)
+            base = np.sin(2 * np.pi * self.base_freq * base_axis)
+            grating = (1 - self.base_mix) * grating + self.base_mix * base
+        cy, cx = self.blob_pos[label] + rng.normal(0, 0.05 * jitter, size=2)
+        blob = np.exp(-(((ys - cy) ** 2 + (xs - cx) ** 2) / 0.02))
+        image = np.empty((self.channels, size, size))
+        for ch in range(self.channels):
+            image[ch] = grating * 0.5 + blob * self.color[label, ch]
+        shift = rng.integers(-1, 2, size=2)
+        image = np.roll(image, tuple(shift), axis=(1, 2))
+        contrast = 1.0 + rng.normal(0, 0.1 * jitter)
+        return image * contrast
+
+
+def _generate(prototypes: _ClassPrototypes, count: int, noise: float,
+              jitter: float, rng: np.random.Generator
+              ) -> Tuple[np.ndarray, np.ndarray]:
+    labels = rng.integers(0, prototypes.num_classes, size=count)
+    images = np.empty(
+        (count, prototypes.channels, prototypes.size, prototypes.size)
+    )
+    for i, label in enumerate(labels):
+        clean = prototypes.render(int(label), rng, jitter)
+        images[i] = clean + rng.normal(0, noise, size=clean.shape)
+    return images, labels.astype(np.int64)
+
+
+def make_cifar10_like(n_train: int = 2000, n_test: int = 500,
+                      image_size: int = 8, channels: int = 3,
+                      num_classes: int = 10, noise: float = 0.35,
+                      seed: int = 0) -> Dataset:
+    """CIFAR-10 stand-in: 10 visually distinct classes, moderate noise."""
+    rng = np.random.default_rng(seed)
+    prototypes = _ClassPrototypes(num_classes, image_size, channels, rng)
+    train = _generate(prototypes, n_train, noise, jitter=1.0, rng=rng)
+    test = _generate(prototypes, n_test, noise, jitter=1.0, rng=rng)
+    return Dataset(*train, *test, num_classes=num_classes,
+                   name="cifar10-like")
+
+
+def make_imagewoof_like(n_train: int = 1500, n_test: int = 400,
+                        image_size: int = 12, channels: int = 3,
+                        num_classes: int = 10, noise: float = 0.45,
+                        seed: int = 7) -> Dataset:
+    """Imagewoof stand-in: classes share a base texture (harder task)."""
+    rng = np.random.default_rng(seed)
+    prototypes = _ClassPrototypes(num_classes, image_size, channels, rng,
+                                  base_mix=0.55)
+    train = _generate(prototypes, n_train, noise, jitter=1.6, rng=rng)
+    test = _generate(prototypes, n_test, noise, jitter=1.6, rng=rng)
+    return Dataset(*train, *test, num_classes=num_classes,
+                   name="imagewoof-like")

@@ -1,0 +1,14 @@
+"""Bit-accurate, vectorized MAC/GEMM emulation for DNN training."""
+
+from .config import GemmConfig, paper_table3_config
+from .gemm import QuantizedGemm, cast_inputs, dot, matmul, sum_reduce
+
+__all__ = [
+    "GemmConfig",
+    "paper_table3_config",
+    "QuantizedGemm",
+    "matmul",
+    "dot",
+    "sum_reduce",
+    "cast_inputs",
+]

@@ -1,0 +1,126 @@
+"""Configuration of the bit-accurate GEMM emulation.
+
+A :class:`GemmConfig` describes how the training emulation performs every
+matrix multiplication, mirroring the paper's MAC unit (Sec. IV): inputs
+are cast to the FP8 multiplier format with round-to-nearest, products are
+exact, and the accumulation runs sequentially over the reduction
+dimension in the low-precision accumulator format with the configured
+rounding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..fp.formats import FP8_E5M2, FP12_E6M5, FP16, FP32, FPFormat
+from ..prng.streams import RandomBitStream, SoftwareStream
+
+
+@dataclass
+class GemmConfig:
+    """How the emulated GEMM quantizes and accumulates.
+
+    Parameters
+    ----------
+    mul_format:
+        Multiplier input format (``None`` disables input quantization).
+        Inputs are cast with round-to-nearest, the standard FP8 cast.
+    acc_format:
+        Accumulator format (``None`` -> exact float64 accumulation, the
+        FP32-baseline path).
+    rounding:
+        ``"nearest"`` or ``"stochastic"`` accumulation rounding.
+    rbits:
+        Number of random bits ``r`` for SR accumulation (``None`` = exact
+        SR, used for ablations only — hardware always has finite ``r``).
+    per_step:
+        Round after every accumulation step (hardware behavior).  When
+        false, the reduction is computed exactly and rounded once — the
+        swamping-free ablation called out in DESIGN.md.
+    stream:
+        Source of SR random integers (software PCG by default; an
+        :class:`repro.prng.streams.LFSRStream` gives hardware-faithful
+        draws).
+    saturate:
+        Clamp accumulator overflow to the max finite value instead of
+        producing infinities.
+    """
+
+    mul_format: Optional[FPFormat] = None
+    acc_format: Optional[FPFormat] = None
+    rounding: str = "nearest"
+    rbits: Optional[int] = None
+    per_step: bool = True
+    stream: RandomBitStream = field(default_factory=SoftwareStream)
+    saturate: bool = False
+
+    @property
+    def is_exact(self) -> bool:
+        """True when this configuration performs no quantization at all."""
+        return self.mul_format is None and self.acc_format is None
+
+    @property
+    def label(self) -> str:
+        if self.is_exact:
+            return "FP32 baseline"
+        acc = self.acc_format.name if self.acc_format else "exact"
+        sub = "" if self.acc_format is None or self.acc_format.subnormals \
+            else " w/o sub"
+        if self.rounding == "stochastic":
+            return f"SR {acc} r={self.rbits}{sub}"
+        return f"RN {acc}{sub}"
+
+    # ------------------------------------------------------------------
+    # Paper configurations (Tables III / IV rows)
+    # ------------------------------------------------------------------
+    @classmethod
+    def fp32_baseline(cls) -> "GemmConfig":
+        return cls()
+
+    @classmethod
+    def rn(cls, acc_format: FPFormat, *, subnormals: bool = True,
+           mul_format: FPFormat = FP8_E5M2) -> "GemmConfig":
+        """RN accumulation in the given format (e.g. FP16, BF16, E6M5)."""
+        return cls(
+            mul_format=mul_format,
+            acc_format=acc_format.with_subnormals(subnormals),
+            rounding="nearest",
+        )
+
+    @classmethod
+    def sr(cls, rbits: int, *, acc_format: FPFormat = FP12_E6M5,
+           subnormals: bool = True, mul_format: FPFormat = FP8_E5M2,
+           seed: int = 0) -> "GemmConfig":
+        """SR accumulation with ``r`` random bits (the paper's design)."""
+        return cls(
+            mul_format=mul_format,
+            acc_format=acc_format.with_subnormals(subnormals),
+            rounding="stochastic",
+            rbits=rbits,
+            stream=SoftwareStream(seed),
+        )
+
+
+#: Named presets matching the evaluation tables.
+def paper_table3_config(row_kind: str, rbits: Optional[int] = None,
+                        subnormals: bool = True, seed: int = 0) -> GemmConfig:
+    """Build the GEMM config for a Table III row kind.
+
+    ``row_kind`` in {"baseline", "rn_fp16", "rn_bf16", "rn_e6m5", "sr"}.
+    """
+    from ..fp.formats import BF16
+
+    if row_kind == "baseline":
+        return GemmConfig.fp32_baseline()
+    if row_kind == "rn_fp16":
+        return GemmConfig.rn(FP16, subnormals=subnormals)
+    if row_kind == "rn_bf16":
+        return GemmConfig.rn(BF16, subnormals=subnormals)
+    if row_kind == "rn_e6m5":
+        return GemmConfig.rn(FP12_E6M5, subnormals=subnormals)
+    if row_kind == "sr":
+        if rbits is None:
+            raise ValueError("SR rows need rbits")
+        return GemmConfig.sr(rbits, subnormals=subnormals, seed=seed)
+    raise ValueError(f"unknown row kind {row_kind!r}")

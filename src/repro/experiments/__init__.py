@@ -1,0 +1,9 @@
+"""Experiment harnesses: one runner per paper table/figure.
+
+See DESIGN.md section 4 for the per-experiment index and
+``python -m repro.experiments.runner --help`` for the CLI.
+"""
+
+from . import records
+
+__all__ = ["records"]

@@ -1,0 +1,260 @@
+"""Hardware experiments: Table I, Table II, Table V and Fig. 5.
+
+Each ``run_*`` function elaborates the relevant netlists, costs them with
+the calibrated technology models, and returns rows carrying both the
+measured (model) numbers and the paper's published numbers for
+side-by-side reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..rtl.designs import build_adder_netlist, build_mac_netlist
+from ..rtl.mac import MACConfig, paper_table1_configs
+from ..synth import calibrated_asic_tech, calibrated_fpga_tech
+from . import records
+
+
+@dataclass
+class AsicResultRow:
+    config: MACConfig
+    energy_nw_mhz: float
+    area_um2: float
+    delay_ns: float
+    paper: Optional[records.AsicRow]
+
+    @property
+    def key(self) -> records.ConfigKey:
+        c = self.config
+        return (c.rounding, c.subnormals, c.exponent_bits, c.mantissa_bits,
+                c.rbits)
+
+
+def run_table1(mac_level: bool = False) -> List[AsicResultRow]:
+    """Table I: the 24 adder configurations (ASIC model).
+
+    ``mac_level=True`` costs full MAC units instead (multiplier + PRNG +
+    accumulator register) — the Fig. 5 variant.
+    """
+    tech = calibrated_asic_tech()
+    build = build_mac_netlist if mac_level else build_adder_netlist
+    rows = []
+    for config in paper_table1_configs():
+        report = tech.synthesize(build(config))
+        key = (config.rounding, config.subnormals, config.exponent_bits,
+               config.mantissa_bits, config.rbits)
+        rows.append(AsicResultRow(
+            config=config,
+            energy_nw_mhz=report.energy_nw_mhz,
+            area_um2=report.area_um2,
+            delay_ns=report.delay_ns,
+            paper=records.TABLE1.get(key) if not mac_level else None,
+        ))
+    return rows
+
+
+def format_table1(rows: List[AsicResultRow]) -> str:
+    lines = [
+        f"{'Configuration':<26}{'E':>3}{'M':>4}{'r':>4}"
+        f"{'Energy':>9}{'(paper)':>9}{'Area':>9}{'(paper)':>10}"
+        f"{'Delay':>8}{'(paper)':>9}"
+    ]
+    for row in rows:
+        c = row.config
+        paper = row.paper
+        lines.append(
+            f"{c.label:<26}{c.exponent_bits:>3}{c.mantissa_bits:>4}"
+            f"{c.rbits if c.rbits else '-':>4}"
+            f"{row.energy_nw_mhz:9.2f}"
+            f"{paper.energy_nw_mhz if paper else float('nan'):9.2f}"
+            f"{row.area_um2:9.1f}"
+            f"{paper.area_um2 if paper else float('nan'):10.1f}"
+            f"{row.delay_ns:8.2f}"
+            f"{paper.delay_ns if paper else float('nan'):9.2f}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class FpgaResultRow:
+    config: MACConfig
+    luts: float
+    ffs: float
+    delay_ns: float
+    paper: Optional[records.FpgaRow]
+
+
+def run_table2() -> List[FpgaResultRow]:
+    """Table II: the four FPGA rows (E5M10 RN sub on/off; E6M5 SR r=13)."""
+    tech = calibrated_fpga_tech()
+    rows = []
+    for key, paper in records.TABLE2.items():
+        rounding, subnormals, e_bits, m_bits, rbits = key
+        config = MACConfig(e_bits, m_bits, rounding, subnormals, rbits)
+        report = tech.implement(build_adder_netlist(config))
+        rows.append(FpgaResultRow(config, report.luts, report.ffs,
+                                  report.delay_ns, paper))
+    return rows
+
+
+def format_table2(rows: List[FpgaResultRow]) -> str:
+    lines = [
+        f"{'Configuration':<26}{'r':>4}{'LUT':>7}{'(paper)':>9}"
+        f"{'FF':>6}{'(paper)':>9}{'Delay':>8}{'(paper)':>9}"
+    ]
+    for row in rows:
+        c = row.config
+        p = row.paper
+        lines.append(
+            f"{c.label:<26}{c.rbits if c.rbits else '-':>4}"
+            f"{row.luts:7.0f}{p.luts:9d}{row.ffs:6.0f}{p.ffs:9d}"
+            f"{row.delay_ns:8.2f}{p.delay_ns:9.2f}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class Table5Row:
+    rbits: int
+    delay_ns: float
+    area_um2: float
+    energy: float
+    paper: Optional[Tuple[float, float, float]]  # (delay, area, energy)
+    label: str = "SR eager W/O Sub E6M5"
+
+
+def run_table5() -> List[Table5Row]:
+    """Table V: r sweep for the eager E6M5 design + RN reference rows."""
+    tech = calibrated_asic_tech()
+    rows = []
+    for rbits, paper in records.TABLE5_SR_EAGER.items():
+        config = MACConfig(6, 5, "sr_eager", False, rbits)
+        report = tech.synthesize(build_adder_netlist(config))
+        rows.append(Table5Row(rbits, report.delay_ns, report.area_um2,
+                              report.energy_nw_mhz, paper))
+    for key, paper in records.TABLE5_REFERENCES.items():
+        rounding, subnormals, e_bits, m_bits, rbits = key
+        config = MACConfig(e_bits, m_bits, rounding, subnormals, rbits)
+        report = tech.synthesize(build_adder_netlist(config))
+        rows.append(Table5Row(
+            rbits, report.delay_ns, report.area_um2, report.energy_nw_mhz,
+            paper, label=config.label,
+        ))
+    return rows
+
+
+def format_table5(rows: List[Table5Row]) -> str:
+    lines = [
+        f"{'Configuration':<26}{'r':>4}{'Delay':>8}{'(paper)':>9}"
+        f"{'Area':>9}{'(paper)':>10}{'Energy':>9}{'(paper)':>9}"
+    ]
+    for row in rows:
+        p = row.paper
+        lines.append(
+            f"{row.label:<26}{row.rbits if row.rbits else '-':>4}"
+            f"{row.delay_ns:8.2f}{p[0] if p else float('nan'):9.2f}"
+            f"{row.area_um2:9.1f}{p[1] if p else float('nan'):10.1f}"
+            f"{row.energy:9.2f}{p[2] if p else float('nan'):9.2f}"
+        )
+    return "\n".join(lines)
+
+
+def run_fig5() -> Dict[str, Dict[str, List[float]]]:
+    """Fig. 5: area/delay/energy series per configuration group.
+
+    Returns ``{metric: {series_label: [value per format]}}`` with formats
+    ordered as in the figure (E8M23, E5M10, E8M7, E6M5).  Costed at MAC
+    level (multiplier + adder + PRNG + accumulator), matching the
+    figure's "MAC unit configuration" framing.
+    """
+    tech = calibrated_asic_tech()
+    formats = [(8, 23), (5, 10), (8, 7), (6, 5)]
+    series: Dict[str, Dict[str, List[float]]] = {
+        "area_um2": {}, "delay_ns": {}, "energy_nw_mhz": {},
+    }
+    for rounding in ("rn", "sr_lazy", "sr_eager"):
+        for subnormals in (True, False):
+            label = {
+                "rn": "RN", "sr_lazy": "SR lazy", "sr_eager": "SR eager",
+            }[rounding] + (", Sub ON" if subnormals else ", Sub OFF")
+            areas, delays, energies = [], [], []
+            for e_bits, m_bits in formats:
+                rbits = 0 if rounding == "rn" else m_bits + 4
+                config = MACConfig(e_bits, m_bits, rounding, subnormals, rbits)
+                report = tech.synthesize(build_mac_netlist(config))
+                areas.append(report.area_um2)
+                delays.append(report.delay_ns)
+                energies.append(report.energy_nw_mhz)
+            series["area_um2"][label] = areas
+            series["delay_ns"][label] = delays
+            series["energy_nw_mhz"][label] = energies
+    return series
+
+
+FIG5_FORMATS = ("E8M23", "E5M10", "E8M7", "E6M5")
+
+
+def format_fig5(series: Dict[str, Dict[str, List[float]]]) -> str:
+    """Render the Fig. 5 series as aligned text (one block per metric)."""
+    lines = []
+    for metric, groups in series.items():
+        lines.append(f"--- {metric} per MAC unit configuration ---")
+        header = f"{'series':<22}" + "".join(f"{f:>10}" for f in FIG5_FORMATS)
+        lines.append(header)
+        for label, values in groups.items():
+            lines.append(
+                f"{label:<22}" + "".join(f"{v:10.2f}" for v in values)
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def headline_savings() -> Dict[str, Dict[str, float]]:
+    """The conclusion's headline ratios, measured on the model.
+
+    Returns fractional savings of the eager E6M5 SR design (r=9, w/o
+    subnormals) versus the FP32 and FP16 RN references, plus the maximum
+    eager-vs-lazy savings across Table I.
+    """
+    tech = calibrated_asic_tech()
+
+    def cost(config: MACConfig):
+        return tech.synthesize(build_adder_netlist(config))
+
+    eager = cost(MACConfig(6, 5, "sr_eager", False, 9))
+    fp32 = cost(MACConfig(8, 23, "rn", True, 0))
+    fp16 = cost(MACConfig(5, 10, "rn", True, 0))
+
+    def savings(design, reference):
+        return {
+            "delay": 1 - design.delay_ns / reference.delay_ns,
+            "area": 1 - design.area_um2 / reference.area_um2,
+            "energy": 1 - design.energy_nw_mhz / reference.energy_nw_mhz,
+        }
+
+    eager_vs_lazy_delay = []
+    eager_vs_lazy_area = []
+    for config in paper_table1_configs():
+        if config.rounding != "sr_lazy":
+            continue
+        lazy_report = cost(config)
+        eager_config = MACConfig(
+            config.exponent_bits, config.mantissa_bits, "sr_eager",
+            config.subnormals, config.rbits,
+        )
+        eager_report = cost(eager_config)
+        eager_vs_lazy_delay.append(
+            1 - eager_report.delay_ns / lazy_report.delay_ns)
+        eager_vs_lazy_area.append(
+            1 - eager_report.area_um2 / lazy_report.area_um2)
+
+    return {
+        "vs_fp32": savings(eager, fp32),
+        "vs_fp16": savings(eager, fp16),
+        "eager_vs_lazy_max": {
+            "delay": max(eager_vs_lazy_delay),
+            "area": max(eager_vs_lazy_area),
+        },
+    }

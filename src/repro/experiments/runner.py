@@ -1,0 +1,81 @@
+"""Command-line entry point regenerating the paper's tables and figure.
+
+Usage::
+
+    python -m repro.experiments.runner table1 table2 table5 fig5
+    python -m repro.experiments.runner table3 --scale small
+    python -m repro.experiments.runner table4 --scale small
+    python -m repro.experiments.runner validation
+    python -m repro.experiments.runner all --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import hardware, training, validation
+
+
+def _print(text: str) -> None:
+    print(text, flush=True)
+
+
+def run_experiment(name: str, scale: str) -> None:
+    start = time.time()
+    if name == "table1":
+        _print("== Table I: ASIC cost of the 24 adder configurations ==")
+        _print(hardware.format_table1(hardware.run_table1()))
+        savings = hardware.headline_savings()
+        _print("\nheadline savings (eager E6M5 SR w/o sub):")
+        for ref, vals in savings.items():
+            pretty = ", ".join(f"{k} {100 * v:.1f}%" for k, v in vals.items())
+            _print(f"  {ref}: {pretty}")
+    elif name == "table2":
+        _print("== Table II: FPGA implementation results ==")
+        _print(hardware.format_table2(hardware.run_table2()))
+    elif name == "table3":
+        _print(f"== Table III: ResNet/CIFAR-like accuracy (scale={scale}) ==")
+        rows = training.run_table3(scale, log=_print)
+        _print(training.format_accuracy_rows(rows))
+    elif name == "table4":
+        _print(f"== Table IV: VGG + ResNet50 workloads (scale={scale}) ==")
+        results = training.run_table4(scale, log=_print)
+        for workload, rows in results.items():
+            _print(training.format_accuracy_rows(rows, title=f"-- {workload} --"))
+    elif name == "table5":
+        _print("== Table V: hardware overhead vs number of random bits ==")
+        _print(hardware.format_table5(hardware.run_table5()))
+    elif name == "fig5":
+        _print("== Fig. 5: MAC-level cost curves ==")
+        _print(hardware.format_fig5(hardware.run_fig5()))
+    elif name == "validation":
+        _print("== Sec. III-B: brute-force eager SR validation ==")
+        report = validation.validate_eager_sr(pair_stride=4)
+        _print(report.summary())
+    else:
+        raise SystemExit(f"unknown experiment {name!r}")
+    _print(f"[{name} done in {time.time() - start:.1f}s]\n")
+
+
+ALL = ["table1", "table2", "table5", "fig5", "validation", "table3", "table4"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="+",
+                        help="table1 table2 table3 table4 table5 fig5 "
+                             "validation, or 'all'")
+    parser.add_argument("--scale", default="small",
+                        choices=sorted(training.SCALES),
+                        help="training scale preset for tables III/IV")
+    args = parser.parse_args(argv)
+    names = ALL if "all" in args.experiments else args.experiments
+    for name in names:
+        run_experiment(name, args.scale)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""Bit-pattern encoding and decoding for parameterized formats.
+
+The RTL models in :mod:`repro.rtl` operate on integer bit patterns; this
+module converts between those patterns and the float64 values used by the
+behavioral layers.  Layout is IEEE-like: ``[sign | exponent | fraction]``
+with biased exponents, exponent field 0 for zero/subnormals and the
+all-ones exponent field reserved for infinities (fraction 0) and NaNs
+(fraction nonzero).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from .formats import FPFormat
+
+
+def encode_one(value: float, fmt: FPFormat) -> int:
+    """Encode a single representable float into its bit pattern.
+
+    Raises ``ValueError`` if ``value`` is finite but not exactly
+    representable in ``fmt`` (use :func:`repro.fp.quantize.quantize`
+    first).  Subnormal-range values encode to subnormal patterns even when
+    ``fmt.subnormals`` is false — the flush-to-zero policy is a *value*
+    policy applied by the quantizer and the arithmetic units, not a
+    restriction of the encoding space.
+    """
+    sign_bit = 1 if (value < 0 or (value == 0 and math.copysign(1.0, value) < 0)) else 0
+    exp_field_max = (1 << fmt.exponent_bits) - 1
+    if value != value:  # NaN
+        return _pack(sign_bit, exp_field_max, 1 << (fmt.mantissa_bits - 1), fmt)
+    if value in (float("inf"), float("-inf")):
+        return _pack(sign_bit, exp_field_max, 0, fmt)
+    if value == 0.0:
+        return _pack(sign_bit, 0, 0, fmt)
+
+    magnitude = abs(value)
+    mantissa, exp2 = math.frexp(magnitude)  # magnitude = mantissa * 2**exp2
+    exponent = exp2 - 1
+    if exponent < fmt.emin:
+        # Subnormal: fixed scale 2**(emin - M).
+        scaled = magnitude / (2.0 ** (fmt.emin - fmt.mantissa_bits))
+        fraction = int(scaled)
+        if fraction != scaled or fraction >= (1 << fmt.mantissa_bits):
+            raise ValueError(f"{value!r} is not representable in {fmt.name}")
+        return _pack(sign_bit, 0, fraction, fmt)
+    if exponent > fmt.emax:
+        raise ValueError(f"{value!r} overflows {fmt.name}")
+    significand = magnitude / (2.0 ** (exponent - fmt.mantissa_bits))
+    significand_int = int(significand)
+    if significand_int != significand:
+        raise ValueError(f"{value!r} is not representable in {fmt.name}")
+    fraction = significand_int - (1 << fmt.mantissa_bits)
+    exp_field = exponent + fmt.bias
+    if not 1 <= exp_field < exp_field_max:
+        raise ValueError(f"{value!r} exponent out of range for {fmt.name}")
+    return _pack(sign_bit, exp_field, fraction, fmt)
+
+
+def decode_one(bits: int, fmt: FPFormat) -> float:
+    """Decode a bit pattern into its float64 value."""
+    sign_bit, exp_field, fraction = split_fields(bits, fmt)
+    sign = -1.0 if sign_bit else 1.0
+    exp_field_max = (1 << fmt.exponent_bits) - 1
+    if exp_field == exp_field_max:
+        if fraction:
+            return float("nan")
+        return sign * float("inf")
+    if exp_field == 0:
+        return sign * fraction * 2.0 ** (fmt.emin - fmt.mantissa_bits)
+    exponent = exp_field - fmt.bias
+    significand = (1 << fmt.mantissa_bits) + fraction
+    return sign * significand * 2.0 ** (exponent - fmt.mantissa_bits)
+
+
+def _pack(sign_bit: int, exp_field: int, fraction: int, fmt: FPFormat) -> int:
+    return (
+        (sign_bit << (fmt.exponent_bits + fmt.mantissa_bits))
+        | (exp_field << fmt.mantissa_bits)
+        | fraction
+    )
+
+
+def split_fields(bits: int, fmt: FPFormat) -> Tuple[int, int, int]:
+    """Split a bit pattern into ``(sign, exponent_field, fraction)``."""
+    if not 0 <= bits < (1 << fmt.total_bits):
+        raise ValueError(f"bit pattern {bits:#x} out of range for {fmt.name}")
+    fraction = bits & ((1 << fmt.mantissa_bits) - 1)
+    exp_field = (bits >> fmt.mantissa_bits) & ((1 << fmt.exponent_bits) - 1)
+    sign_bit = bits >> (fmt.exponent_bits + fmt.mantissa_bits)
+    return sign_bit, exp_field, fraction
+
+
+def encode(values: np.ndarray, fmt: FPFormat) -> np.ndarray:
+    """Vectorized :func:`encode_one` returning a uint64 array."""
+    flat = np.asarray(values, dtype=np.float64).ravel()
+    out = np.empty(flat.shape, dtype=np.uint64)
+    for i, v in enumerate(flat):
+        out[i] = encode_one(float(v), fmt)
+    return out.reshape(np.asarray(values).shape)
+
+
+def decode(bits: np.ndarray, fmt: FPFormat) -> np.ndarray:
+    """Vectorized :func:`decode_one` returning a float64 array."""
+    flat = np.asarray(bits).ravel()
+    out = np.empty(flat.shape, dtype=np.float64)
+    for i, b in enumerate(flat):
+        out[i] = decode_one(int(b), fmt)
+    return out.reshape(np.asarray(bits).shape)
+
+
+def all_finite_values(fmt: FPFormat, positive_only: bool = False) -> np.ndarray:
+    """Every finite value representable in ``fmt``, sorted ascending.
+
+    Subnormal encodings are included only when the format supports them;
+    with flush-to-zero formats the subnormal patterns decode to values the
+    arithmetic never produces, so they are excluded.  Used by exhaustive
+    tests and the brute-force validation experiment.
+    """
+    values = []
+    for bits in range(1 << fmt.total_bits):
+        sign_bit, exp_field, fraction = split_fields(bits, fmt)
+        if exp_field == (1 << fmt.exponent_bits) - 1:
+            continue  # inf/NaN
+        if exp_field == 0 and fraction != 0 and not fmt.subnormals:
+            continue
+        if sign_bit and positive_only:
+            continue
+        if sign_bit and exp_field == 0 and fraction == 0:
+            continue  # skip -0 duplicate
+        values.append(decode_one(bits, fmt))
+    return np.array(sorted(set(values)), dtype=np.float64)

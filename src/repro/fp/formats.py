@@ -1,0 +1,217 @@
+"""Parameterized binary floating-point formats.
+
+The paper works with IEEE-754-style formats described by an exponent width
+``E`` and a stored mantissa (fraction) width ``M``; the significand
+precision is ``p = M + 1`` (one implicit bit).  Following the paper
+(Sec. II-A), the exponent bias is ``2**(E-1) - 1``, the maximum exponent is
+``emax = bias`` and the minimum normal exponent is ``emin = 1 - emax``.
+The all-ones exponent field is reserved for infinities and NaNs, as in
+IEEE 754.
+
+Formats may be declared without subnormal support, in which case values in
+the subnormal range are treated as zero (paper footnote 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from fractions import Fraction
+
+
+@dataclass(frozen=True)
+class FPFormat:
+    """A binary floating-point format with ``E`` exponent and ``M`` mantissa bits.
+
+    Parameters
+    ----------
+    exponent_bits:
+        Width of the exponent field (``E``).  Must be at least 2.
+    mantissa_bits:
+        Width of the stored fraction field (``M``).  Must be at least 1.
+    subnormals:
+        Whether gradual underflow (subnormal encodings) is supported.  When
+        ``False``, values whose magnitude falls below :attr:`min_normal`
+        are flushed to zero.
+    name:
+        Optional human-readable name (``"FP16"``, ``"E6M5"``...).
+    """
+
+    exponent_bits: int
+    mantissa_bits: int
+    subnormals: bool = True
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.exponent_bits < 2:
+            raise ValueError(f"exponent_bits must be >= 2, got {self.exponent_bits}")
+        if self.mantissa_bits < 1:
+            raise ValueError(f"mantissa_bits must be >= 1, got {self.mantissa_bits}")
+        if self.exponent_bits > 11 or self.mantissa_bits > 52:
+            raise ValueError("formats wider than float64 are not representable")
+        if not self.name:
+            object.__setattr__(self, "name", f"E{self.exponent_bits}M{self.mantissa_bits}")
+
+    # ------------------------------------------------------------------
+    # Derived parameters
+    # ------------------------------------------------------------------
+    @property
+    def precision(self) -> int:
+        """Significand precision ``p`` in bits (stored fraction + implicit bit)."""
+        return self.mantissa_bits + 1
+
+    @property
+    def bias(self) -> int:
+        """Exponent bias ``2**(E-1) - 1``."""
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    @property
+    def emax(self) -> int:
+        """Largest exponent of a finite normal value."""
+        return self.bias
+
+    @property
+    def emin(self) -> int:
+        """Smallest exponent of a normal value, ``1 - emax``."""
+        return 1 - self.emax
+
+    @property
+    def machine_eps(self) -> float:
+        """Machine epsilon ``2**(1 - p)`` (distance from 1.0 to the next value)."""
+        return 2.0 ** (1 - self.precision)
+
+    @property
+    def max_value(self) -> float:
+        """Largest finite representable magnitude."""
+        return (2.0 - self.machine_eps) * 2.0 ** self.emax
+
+    @property
+    def min_normal(self) -> float:
+        """Smallest positive normal magnitude ``2**emin``."""
+        return 2.0 ** self.emin
+
+    @property
+    def min_subnormal(self) -> float:
+        """Smallest positive subnormal magnitude ``2**(emin - M)``.
+
+        Only meaningful when :attr:`subnormals` is true; it equals the
+        quantization step in the subnormal range either way.
+        """
+        return 2.0 ** (self.emin - self.mantissa_bits)
+
+    @property
+    def smallest_positive(self) -> float:
+        """Smallest positive representable magnitude under this format's rules."""
+        return self.min_subnormal if self.subnormals else self.min_normal
+
+    @property
+    def total_bits(self) -> int:
+        """Storage width in bits: sign + exponent + fraction."""
+        return 1 + self.exponent_bits + self.mantissa_bits
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def ulp(self, value: float) -> float:
+        """Unit in the last place at ``value`` (spacing of the format there)."""
+        magnitude = abs(value)
+        if magnitude < self.min_normal:
+            return self.min_subnormal
+        exponent = _floor_log2(magnitude)
+        exponent = min(exponent, self.emax)
+        return 2.0 ** (exponent - self.mantissa_bits)
+
+    def exact_ulp(self, value: Fraction) -> Fraction:
+        """Exact-rational version of :meth:`ulp` for the scalar reference path."""
+        magnitude = abs(value)
+        if magnitude < Fraction(2) ** self.emin:
+            return Fraction(2) ** (self.emin - self.mantissa_bits)
+        exponent = _floor_log2_fraction(magnitude)
+        exponent = min(exponent, self.emax)
+        return Fraction(2) ** (exponent - self.mantissa_bits)
+
+    def is_representable(self, value: float) -> bool:
+        """Whether ``value`` is exactly representable (finite values only)."""
+        from .rounding import round_to_format  # local import avoids a cycle
+
+        if value != value or value in (float("inf"), float("-inf")):
+            return True
+        rounded = round_to_format(Fraction(value), self, mode="nearest")
+        return rounded == Fraction(value)
+
+    def with_subnormals(self, enabled: bool) -> "FPFormat":
+        """A copy of this format with subnormal support toggled."""
+        suffix = "" if enabled else "-fz"
+        base = self.name.replace("-fz", "")
+        return replace(self, subnormals=enabled, name=base + suffix)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        sub = "sub" if self.subnormals else "no-sub"
+        return f"{self.name} (E{self.exponent_bits}M{self.mantissa_bits}, {sub})"
+
+
+def _floor_log2(magnitude: float) -> int:
+    """Exact floor(log2(magnitude)) for a positive float."""
+    from math import frexp
+
+    mantissa, exponent = frexp(magnitude)
+    # frexp returns magnitude = mantissa * 2**exponent with mantissa in [0.5, 1)
+    return exponent - 1
+
+
+def _floor_log2_fraction(magnitude: Fraction) -> int:
+    """Exact floor(log2(magnitude)) for a positive rational."""
+    if magnitude <= 0:
+        raise ValueError("magnitude must be positive")
+    exponent = magnitude.numerator.bit_length() - magnitude.denominator.bit_length()
+    if Fraction(2) ** exponent > magnitude:
+        exponent -= 1
+    elif Fraction(2) ** (exponent + 1) <= magnitude:
+        exponent += 1
+    return exponent
+
+
+# ----------------------------------------------------------------------
+# Named formats used throughout the paper
+# ----------------------------------------------------------------------
+FP32 = FPFormat(8, 23, name="FP32")
+FP16 = FPFormat(5, 10, name="FP16")
+BF16 = FPFormat(8, 7, name="BF16")
+FP12_E6M5 = FPFormat(6, 5, name="E6M5")
+FP8_E5M2 = FPFormat(5, 2, name="E5M2")
+FP8_E4M3 = FPFormat(4, 3, name="E4M3")
+
+#: Formats appearing in Table I / Fig. 5, keyed by the paper's labels.
+PAPER_ADDER_FORMATS = {
+    "E8M23": FP32,
+    "E5M10": FP16,
+    "E8M7": BF16,
+    "E6M5": FP12_E6M5,
+}
+
+_REGISTRY = {
+    "FP32": FP32,
+    "FP16": FP16,
+    "BF16": BF16,
+    "E8M23": FP32,
+    "E5M10": FP16,
+    "E8M7": BF16,
+    "E6M5": FP12_E6M5,
+    "FP12": FP12_E6M5,
+    "E5M2": FP8_E5M2,
+    "FP8": FP8_E5M2,
+    "E4M3": FP8_E4M3,
+}
+
+
+def get_format(name: str) -> FPFormat:
+    """Look up a named format (``"FP16"``, ``"E6M5"``, or generic ``"ExMy"``)."""
+    key = name.upper()
+    if key in _REGISTRY:
+        return _REGISTRY[key]
+    if key.startswith("E") and "M" in key:
+        exp_str, _, man_str = key[1:].partition("M")
+        try:
+            return FPFormat(int(exp_str), int(man_str))
+        except ValueError:
+            pass
+    raise KeyError(f"unknown floating-point format: {name!r}")

@@ -1,0 +1,237 @@
+"""Scalar, exact-rational rounding reference.
+
+This module is the *specification* against which every other rounding
+implementation in the repository (the vectorized quantizer, the RTL adder
+models, the GEMM emulation) is verified.  All arithmetic is done with
+:class:`fractions.Fraction`, so results and round-up probabilities are
+exact.
+
+Two stochastic-rounding flavours are provided, following Sec. II-A of the
+paper:
+
+* **Exact SR** (Eq. (1)): round away from the truncation with probability
+  ``eps_x = (m - tr(m)) / eps``, computed exactly.
+* **r-bit SR** (Fig. 1 / Eq. (2) discretized): the first ``r`` discarded
+  significand bits are added to an ``r``-bit uniform random integer; a
+  carry out of this addition rounds the magnitude up.  Discarded bits
+  beyond the first ``r`` never influence the result, which is precisely
+  what makes small ``r`` behaviorally lossy.
+
+Rounding semantics for formats without subnormal support follow the
+paper's footnote 3: results in the subnormal range are flushed to zero
+*after* rounding in the gradual-underflow lattice.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional, Tuple, Union
+
+from .formats import FPFormat, _floor_log2_fraction
+
+#: Rounding modes accepted by :func:`round_to_format`.
+ROUNDING_MODES = (
+    "nearest",       # round to nearest, ties to even (RN)
+    "toward_zero",   # truncation (RZ)
+    "up",            # toward +infinity (RU)
+    "down",          # toward -infinity (RD)
+    "stochastic",    # SR, exact or r-bit depending on arguments
+)
+
+Real = Union[int, float, Fraction]
+
+#: Sentinel returned for magnitudes that overflow the target format.
+OVERFLOW = object()
+
+
+def _as_fraction(x: Real) -> Fraction:
+    if isinstance(x, Fraction):
+        return x
+    if isinstance(x, float):
+        if x != x or x in (float("inf"), float("-inf")):
+            raise ValueError("non-finite values must be handled by the caller")
+    return Fraction(x)
+
+
+def decompose(x: Real, fmt: FPFormat) -> Tuple[int, int, Fraction, Fraction]:
+    """Split ``|x|`` into its rounding ingredients in format ``fmt``.
+
+    Returns ``(sign, exponent, k_floor, frac)`` where the truncation of
+    ``|x|`` is ``k_floor * 2**(exponent - M)`` (``k_floor`` an integer held
+    in a Fraction), ``exponent`` is clamped to ``emin`` in the subnormal
+    range, and ``frac`` in ``[0, 1)`` is the discarded part in units of one
+    ulp.  ``frac`` equals the paper's ``eps_x``.
+    """
+    value = _as_fraction(x)
+    sign = -1 if value < 0 else 1
+    magnitude = abs(value)
+    if magnitude == 0:
+        return sign, fmt.emin, Fraction(0), Fraction(0)
+    exponent = _floor_log2_fraction(magnitude)
+    exponent = max(exponent, fmt.emin)
+    quantum = Fraction(2) ** (exponent - fmt.mantissa_bits)
+    scaled = magnitude / quantum
+    k_floor = Fraction(int(scaled))  # floor: scaled >= 0
+    frac = scaled - k_floor
+    return sign, exponent, k_floor, frac
+
+
+def rounding_candidates(
+    x: Real, fmt: FPFormat
+) -> Tuple[Fraction, Union[Fraction, object], Fraction]:
+    """Truncation, round-up candidate, and exact round-up probability.
+
+    Returns ``(down, up, prob_up)``: ``down = tr(|x|)`` with the sign of
+    ``x`` folded back in magnitude terms (i.e. the value of ``x`` rounded
+    toward zero), ``up`` the next value away from zero (or :data:`OVERFLOW`
+    beyond :attr:`FPFormat.max_value`), and ``prob_up`` the exact SR
+    probability of selecting ``up``.
+    """
+    sign, exponent, k_floor, frac = decompose(x, fmt)
+    quantum = Fraction(2) ** (exponent - fmt.mantissa_bits)
+    down = sign * k_floor * quantum
+    up_mag = (k_floor + 1) * quantum
+    max_value = Fraction(fmt.max_value)
+    up: Union[Fraction, object]
+    if up_mag > max_value:
+        up = OVERFLOW
+    else:
+        up = sign * up_mag
+    return down, up, frac
+
+
+def round_to_format(
+    x: Real,
+    fmt: FPFormat,
+    mode: str = "nearest",
+    *,
+    random_unit: Optional[Real] = None,
+    random_int: Optional[int] = None,
+    rbits: Optional[int] = None,
+) -> Union[Fraction, float]:
+    """Round a finite real ``x`` into ``fmt`` under the given mode.
+
+    Parameters
+    ----------
+    x:
+        Finite value to round (int, float, or Fraction).
+    mode:
+        One of :data:`ROUNDING_MODES`.
+    random_unit:
+        For exact SR: a value in ``[0, 1)``; the magnitude rounds away from
+        zero iff ``random_unit < eps_x`` (Eq. (2)).
+    random_int:
+        For r-bit SR: an integer in ``[0, 2**rbits)`` taken from the PRNG.
+    rbits:
+        Number of random bits ``r`` for the discretized SR.
+
+    Returns
+    -------
+    Fraction for finite results, ``float('inf')`` / ``-inf`` on overflow
+    (overflow rounds to infinity, matching IEEE semantics and the
+    carry-out-of-max behavior of the hardware unit).
+    """
+    if mode not in ROUNDING_MODES:
+        raise ValueError(f"unknown rounding mode {mode!r}")
+    value = _as_fraction(x)
+    if value == 0:
+        return Fraction(0)
+
+    sign, exponent, k_floor, frac = decompose(value, fmt)
+    round_up = _round_up_decision(
+        mode, sign, k_floor, frac,
+        random_unit=random_unit, random_int=random_int, rbits=rbits,
+    )
+    magnitude = (k_floor + (1 if round_up else 0)) * Fraction(2) ** (
+        exponent - fmt.mantissa_bits
+    )
+
+    if magnitude > Fraction(fmt.max_value):
+        return float("inf") if sign > 0 else float("-inf")
+    if not fmt.subnormals and magnitude < Fraction(fmt.min_normal):
+        return Fraction(0)
+    return sign * magnitude
+
+
+def _round_up_decision(
+    mode: str,
+    sign: int,
+    k_floor: Fraction,
+    frac: Fraction,
+    *,
+    random_unit: Optional[Real],
+    random_int: Optional[int],
+    rbits: Optional[int],
+) -> bool:
+    """Whether the magnitude should round away from zero."""
+    if frac == 0:
+        return False
+    if mode == "toward_zero":
+        return False
+    if mode == "nearest":
+        if frac > Fraction(1, 2):
+            return True
+        if frac < Fraction(1, 2):
+            return False
+        return int(k_floor) % 2 == 1  # ties to even
+    if mode == "up":
+        return sign > 0
+    if mode == "down":
+        return sign < 0
+    # mode == "stochastic"
+    if rbits is not None:
+        if random_int is None:
+            raise ValueError("r-bit SR requires random_int")
+        if not 0 <= random_int < (1 << rbits):
+            raise ValueError(f"random_int out of range for rbits={rbits}")
+        kept = int(frac * (1 << rbits))  # first r discarded bits, rest dropped
+        return kept + random_int >= (1 << rbits)
+    if random_unit is None:
+        raise ValueError("exact SR requires random_unit")
+    return _as_fraction(random_unit) < frac
+
+
+def round_float(
+    x: float,
+    fmt: FPFormat,
+    mode: str = "nearest",
+    *,
+    random_unit: Optional[Real] = None,
+    random_int: Optional[int] = None,
+    rbits: Optional[int] = None,
+) -> float:
+    """Float-in / float-out wrapper around :func:`round_to_format`.
+
+    Handles non-finite inputs and signed zeros; finite results are exact
+    because every supported format fits inside float64.
+    """
+    if x != x:  # NaN
+        return x
+    if x == float("inf") or x == float("-inf"):
+        return x
+    if x == 0.0:
+        return x  # preserves the sign of zero
+    result = round_to_format(
+        x, fmt, mode,
+        random_unit=random_unit, random_int=random_int, rbits=rbits,
+    )
+    if isinstance(result, float):
+        return result
+    if result == 0:
+        # Rounded/flushed to zero: IEEE keeps the operand's sign.
+        import math
+
+        return math.copysign(0.0, x)
+    return float(result)
+
+
+def sr_probability(x: Real, fmt: FPFormat, rbits: Optional[int] = None) -> Fraction:
+    """Exact probability that SR rounds the magnitude of ``x`` away from zero.
+
+    With ``rbits=r`` the probability is quantized to ``floor(eps_x * 2**r)
+    / 2**r`` — the discretization of Eq. (2) discussed in Sec. II-A.
+    """
+    _, _, _, frac = decompose(x, fmt)
+    if rbits is None:
+        return frac
+    return Fraction(int(frac * (1 << rbits)), 1 << rbits)

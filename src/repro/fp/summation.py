@@ -1,0 +1,132 @@
+"""Low-precision summation algorithms and their rounding behavior.
+
+The paper motivates SR through *stagnation* in long low-precision sums
+(Sec. II, citing Blanchard-Higham-Mary's summation analysis and the
+Croci et al. SR survey).  This module implements the classic summation
+algorithms under any format/rounding so those phenomena can be measured
+directly:
+
+* **recursive** (sequential) summation — what the MAC accumulator does;
+* **pairwise** (tree) summation — O(log n) error growth;
+* **blocked** summation — fixed-size partial sums, the structure of a
+  multi-lane accumulator;
+* **Kahan** compensated summation — error compensation in the same
+  precision;
+* **two-precision** summation — wide accumulate, narrow final round (the
+  FP32-accumulator baseline of FP8 training flows).
+
+Each algorithm takes a :class:`RoundingPolicy` bundling the format,
+mode and randomness, applied after every elementary addition, so RN and
+r-bit SR can be compared like-for-like (used by the error-analysis
+experiments in :mod:`repro.analysis`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .fastquant import quantize_fast
+from .formats import FPFormat
+
+
+@dataclass
+class RoundingPolicy:
+    """Format + rounding mode + randomness, applied to every operation."""
+
+    fmt: Optional[FPFormat]
+    mode: str = "nearest"
+    rbits: Optional[int] = None
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(0))
+
+    def round(self, values: np.ndarray) -> np.ndarray:
+        if self.fmt is None:
+            return np.asarray(values, dtype=np.float64)
+        return quantize_fast(values, self.fmt, self.mode,
+                             rng=self.rng, rbits=self.rbits)
+
+    def round_scalar(self, value: float) -> float:
+        return float(self.round(np.array([value]))[0])
+
+    @classmethod
+    def exact(cls) -> "RoundingPolicy":
+        return cls(None)
+
+    @classmethod
+    def rn(cls, fmt: FPFormat) -> "RoundingPolicy":
+        return cls(fmt, "nearest")
+
+    @classmethod
+    def sr(cls, fmt: FPFormat, rbits: int, seed: int = 0) -> "RoundingPolicy":
+        return cls(fmt, "stochastic", rbits, np.random.default_rng(seed))
+
+
+def recursive_sum(values: np.ndarray, policy: RoundingPolicy) -> float:
+    """Sequential left-to-right summation (the MAC accumulation order)."""
+    acc = 0.0
+    for value in np.asarray(values, dtype=np.float64):
+        acc = policy.round_scalar(acc + value)
+    return acc
+
+
+def pairwise_sum(values: np.ndarray, policy: RoundingPolicy) -> float:
+    """Balanced-tree summation: error grows O(log n) instead of O(n)."""
+    level = policy.round(np.asarray(values, dtype=np.float64))
+    while level.size > 1:
+        if level.size % 2:
+            level = np.concatenate([level, [0.0]])
+        level = policy.round(level[0::2] + level[1::2])
+    return float(level[0]) if level.size else 0.0
+
+
+def blocked_sum(values: np.ndarray, policy: RoundingPolicy,
+                block: int = 32) -> float:
+    """Fixed-block partial sums, then a recursive sum of the partials.
+
+    Models a ``block``-lane accumulator bank followed by a drain adder —
+    the accumulation structure of a systolic column.
+    """
+    if block < 1:
+        raise ValueError("block must be positive")
+    arr = np.asarray(values, dtype=np.float64)
+    partials = [
+        recursive_sum(arr[start:start + block], policy)
+        for start in range(0, arr.size, block)
+    ]
+    return recursive_sum(np.array(partials), policy)
+
+
+def kahan_sum(values: np.ndarray, policy: RoundingPolicy) -> float:
+    """Kahan compensated summation in the target precision."""
+    acc = 0.0
+    compensation = 0.0
+    for value in np.asarray(values, dtype=np.float64):
+        adjusted = policy.round_scalar(value - compensation)
+        total = policy.round_scalar(acc + adjusted)
+        compensation = policy.round_scalar(
+            policy.round_scalar(total - acc) - adjusted)
+        acc = total
+    return acc
+
+
+def two_precision_sum(values: np.ndarray, wide: RoundingPolicy,
+                      narrow: RoundingPolicy) -> float:
+    """Accumulate in ``wide``, round the final result into ``narrow``.
+
+    The FP16/FP32-accumulator baseline that the paper's FP12 design
+    competes against.
+    """
+    total = recursive_sum(values, wide)
+    return narrow.round_scalar(total)
+
+
+#: Registry used by the analysis harness.
+ALGORITHMS = {
+    "recursive": recursive_sum,
+    "pairwise": pairwise_sum,
+    "blocked": blocked_sum,
+    "kahan": kahan_sum,
+}

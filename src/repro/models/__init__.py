@@ -1,0 +1,21 @@
+"""Model zoo: ResNet / VGG / MLP / small CNN with pluggable GEMMs."""
+
+from .mlp import MLP
+from .resnet import BasicBlock, Bottleneck, ResNet, resnet8, resnet20, resnet50_style
+from .simple_cnn import SimpleCNN
+from .vgg import VGG, VGG16_CFG, vgg16, vgg_small
+
+__all__ = [
+    "MLP",
+    "SimpleCNN",
+    "ResNet",
+    "BasicBlock",
+    "Bottleneck",
+    "resnet8",
+    "resnet20",
+    "resnet50_style",
+    "VGG",
+    "VGG16_CFG",
+    "vgg16",
+    "vgg_small",
+]

@@ -1,0 +1,37 @@
+"""Multilayer perceptron (fast sanity-check model)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..nn.layers import BatchNorm1d, Flatten, Linear, ReLU
+from ..nn.module import GemmFn, Module, Sequential, default_gemm
+
+
+class MLP(Module):
+    """Flatten -> [Linear -> BN -> ReLU]* -> Linear."""
+
+    def __init__(self, in_features: int, hidden: Sequence[int],
+                 num_classes: int = 10, *, batch_norm: bool = True,
+                 gemm: Optional[GemmFn] = None, seed: int = 0):
+        super().__init__()
+        gemm = gemm if gemm is not None else default_gemm
+        rng = np.random.default_rng(seed)
+        layers = [Flatten()]
+        features = in_features
+        for width in hidden:
+            layers.append(Linear(features, width, gemm=gemm, rng=rng))
+            if batch_norm:
+                layers.append(BatchNorm1d(width))
+            layers.append(ReLU())
+            features = width
+        layers.append(Linear(features, num_classes, gemm=gemm, rng=rng))
+        self.net = Sequential(*layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.net(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.net.backward(grad_out)

@@ -1,0 +1,48 @@
+"""A small convolutional network for fast experiments and tests."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from ..nn.module import GemmFn, Module, Sequential, default_gemm
+
+
+class SimpleCNN(Module):
+    """Two conv stages + global average pooling + linear head."""
+
+    def __init__(self, num_classes: int = 10, in_channels: int = 3,
+                 width: int = 8, *, gemm: Optional[GemmFn] = None,
+                 seed: int = 0):
+        super().__init__()
+        gemm = gemm if gemm is not None else default_gemm
+        rng = np.random.default_rng(seed)
+        self.features = Sequential(
+            Conv2d(in_channels, width, 3, gemm=gemm, rng=rng),
+            BatchNorm2d(width),
+            ReLU(),
+            Conv2d(width, 2 * width, 3, gemm=gemm, rng=rng),
+            BatchNorm2d(2 * width),
+            ReLU(),
+            MaxPool2d(2),
+        )
+        self.pool = GlobalAvgPool2d()
+        self.head = Linear(2 * width, num_classes, gemm=gemm, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.head(self.pool(self.features(x)))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.features.backward(
+            self.pool.backward(self.head.backward(grad_out))
+        )

@@ -1,0 +1,94 @@
+"""Scalable VGG family (VGG-16 with batch norm, width-configurable).
+
+The paper's second CIFAR-10 model.  The classic configuration "D" is
+[64, 64, M, 128, 128, M, 256, 256, 256, M, 512, 512, 512, M, 512, 512,
+512, M]; a ``width_scale`` shrinks every channel count proportionally for
+the reduced-scale runs, and the number of pooling stages adapts to the
+input size so small synthetic images remain usable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from ..nn.module import GemmFn, Module, Sequential, default_gemm
+
+#: VGG-16 configuration "D"; "M" marks 2x2 max pooling.
+VGG16_CFG: List[Union[int, str]] = [
+    64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+    512, 512, 512, "M", 512, 512, 512, "M",
+]
+
+
+class VGG(Module):
+    """Conv/BN/ReLU feature stack + dropout MLP classifier."""
+
+    def __init__(self, cfg: Sequence[Union[int, str]], num_classes: int = 10,
+                 in_channels: int = 3, image_size: int = 32,
+                 width_scale: float = 1.0, classifier_width: int = 512, *,
+                 gemm: Optional[GemmFn] = None, seed: int = 0,
+                 dropout: float = 0.5):
+        super().__init__()
+        gemm = gemm if gemm is not None else default_gemm
+        rng = np.random.default_rng(seed)
+        layers: List[Module] = []
+        channels = in_channels
+        size = image_size
+        for item in cfg:
+            if item == "M":
+                if size >= 2:
+                    layers.append(MaxPool2d(2))
+                    size //= 2
+                continue
+            width = max(4, int(round(item * width_scale)))
+            layers.append(Conv2d(channels, width, 3, gemm=gemm, rng=rng))
+            layers.append(BatchNorm2d(width))
+            layers.append(ReLU())
+            channels = width
+        self.features = Sequential(*layers)
+        self.flatten = Flatten()
+        feat_dim = channels * size * size
+        hidden = max(8, int(round(classifier_width * width_scale)))
+        self.classifier = Sequential(
+            Linear(feat_dim, hidden, gemm=gemm, rng=rng),
+            ReLU(),
+            Dropout(dropout, rng=rng),
+            Linear(hidden, num_classes, gemm=gemm, rng=rng),
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.classifier(self.flatten(self.features(x)))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.features.backward(
+            self.flatten.backward(self.classifier.backward(grad_out))
+        )
+
+
+def vgg16(num_classes: int = 10, image_size: int = 32,
+          width_scale: float = 1.0, *, gemm: Optional[GemmFn] = None,
+          seed: int = 0) -> VGG:
+    """VGG-16 with batch norm (paper scale at ``width_scale=1``)."""
+    return VGG(VGG16_CFG, num_classes, image_size=image_size,
+               width_scale=width_scale, gemm=gemm, seed=seed)
+
+
+def vgg_small(num_classes: int = 10, image_size: int = 8,
+              width_scale: float = 1.0, *, gemm: Optional[GemmFn] = None,
+              seed: int = 0) -> VGG:
+    """A shallow VGG-style stack for the reduced-scale experiments."""
+    cfg = [16, 16, "M", 32, 32, "M"]
+    return VGG(cfg, num_classes, image_size=image_size,
+               width_scale=width_scale, classifier_width=64,
+               gemm=gemm, seed=seed, dropout=0.3)

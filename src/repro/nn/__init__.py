@@ -1,0 +1,55 @@
+"""A from-scratch numpy neural-network framework.
+
+Every GEMM (forward and backward, conv via im2col) can be routed through
+the bit-accurate MAC emulation in :mod:`repro.emu`, reproducing the
+paper's low-precision training flow.
+"""
+
+from .functional import col2im, conv_output_size, im2col, one_hot, softmax
+from .layers import (
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from .loss import CrossEntropyLoss, MSELoss
+from .loss_scaler import DynamicLossScaler
+from .lr_scheduler import CosineAnnealingLR, MultiStepLR
+from .module import Module, Parameter, Sequential, default_gemm
+from .optim import SGD
+from .trainer import EpochStats, Trainer, TrainingResult
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "default_gemm",
+    "Linear",
+    "Conv2d",
+    "ReLU",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "MaxPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "SGD",
+    "CosineAnnealingLR",
+    "MultiStepLR",
+    "DynamicLossScaler",
+    "Trainer",
+    "TrainingResult",
+    "EpochStats",
+    "im2col",
+    "col2im",
+    "conv_output_size",
+    "softmax",
+    "one_hot",
+]

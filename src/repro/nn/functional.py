@@ -1,0 +1,68 @@
+"""Array utilities: im2col/col2im, softmax, one-hot encoding.
+
+The convolution layers lower to GEMM via im2col so that *every*
+multiply-accumulate of the network flows through the emulated MAC, as in
+the paper's training flow ("all GEMM operations during training (FWD and
+BWD passes) are performed using low-precision MAC units").
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    return (size + 2 * pad - kernel) // stride + 1
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int = 1,
+           pad: int = 0) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Unfold ``(N, C, H, W)`` into ``(N * OH * OW, C * K * K)`` patches."""
+    n, c, h, w = x.shape
+    oh = conv_output_size(h, kernel, stride, pad)
+    ow = conv_output_size(w, kernel, stride, pad)
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    cols = np.empty((n, c, kernel, kernel, oh, ow), dtype=x.dtype)
+    for ky in range(kernel):
+        y_end = ky + stride * oh
+        for kx in range(kernel):
+            x_end = kx + stride * ow
+            cols[:, :, ky, kx, :, :] = x[:, :, ky:y_end:stride, kx:x_end:stride]
+    cols = cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * oh * ow, c * kernel * kernel)
+    return cols, (oh, ow)
+
+
+def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int], kernel: int,
+           stride: int = 1, pad: int = 0) -> np.ndarray:
+    """Fold patch gradients back onto the input tensor (im2col adjoint)."""
+    n, c, h, w = x_shape
+    oh = conv_output_size(h, kernel, stride, pad)
+    ow = conv_output_size(w, kernel, stride, pad)
+    cols = cols.reshape(n, oh, ow, c, kernel, kernel).transpose(0, 3, 4, 5, 1, 2)
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    for ky in range(kernel):
+        y_end = ky + stride * oh
+        for kx in range(kernel):
+            x_end = kx + stride * ow
+            padded[:, :, ky:y_end:stride, kx:x_end:stride] += cols[:, :, ky, kx]
+    if pad:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode integer class labels into a float64 matrix."""
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out

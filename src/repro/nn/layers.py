@@ -1,0 +1,293 @@
+"""Network layers whose GEMMs route through the emulated MAC.
+
+``Linear`` and ``Conv2d`` accept a GEMM callable (typically an
+:class:`repro.emu.gemm.QuantizedGemm`); both the forward product and the
+two backward products (input gradient and weight gradient) go through it,
+emulating the paper's setup where forward *and* backward GEMMs run on
+low-precision MAC units.  Everything else (batch norm, activations,
+pooling, bias adds, weight updates) stays in full precision, matching the
+mixed-precision convention of the FP8 training literature the paper
+builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .functional import col2im, im2col
+from .init import kaiming_normal
+from .module import GemmFn, Module, Parameter, default_gemm
+
+
+class Linear(Module):
+    """Fully connected layer: ``y = x @ W.T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, *,
+                 bias: bool = True, gemm: Optional[GemmFn] = None,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.gemm = gemm if gemm is not None else default_gemm
+        self.weight = Parameter(
+            kaiming_normal((out_features, in_features), in_features, rng),
+            name="linear.weight",
+        )
+        self.bias = Parameter(np.zeros(out_features), name="linear.bias") \
+            if bias else None
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        out = self.gemm(x, self.weight.data.T)
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x = self._x
+        self.weight.grad += self.gemm(grad_out.T, x)
+        if self.bias is not None:
+            self.bias.grad += grad_out.sum(axis=0)
+        return self.gemm(grad_out, self.weight.data)
+
+
+class Conv2d(Module):
+    """2D convolution lowered to GEMM via im2col.
+
+    Input/output layout is ``(N, C, H, W)``.  The im2col reduction
+    dimension (``C * K * K``) is the MAC accumulation length, so swamping
+    behavior matches a weight-stationary accelerator.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int, *,
+                 stride: int = 1, pad: Optional[int] = None,
+                 bias: bool = False, gemm: Optional[GemmFn] = None,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = pad if pad is not None else kernel // 2
+        self.gemm = gemm if gemm is not None else default_gemm
+        fan_in = in_channels * kernel * kernel
+        self.weight = Parameter(
+            kaiming_normal((out_channels, fan_in), fan_in, rng),
+            name="conv.weight",
+        )
+        self.bias = Parameter(np.zeros(out_channels), name="conv.bias") \
+            if bias else None
+        self._cols: Optional[np.ndarray] = None
+        self._x_shape = None
+        self._out_hw = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n = x.shape[0]
+        cols, (oh, ow) = im2col(x, self.kernel, self.stride, self.pad)
+        self._cols = cols
+        self._x_shape = x.shape
+        self._out_hw = (oh, ow)
+        out = self.gemm(cols, self.weight.data.T)
+        if self.bias is not None:
+            out = out + self.bias.data
+        out = out.reshape(n, oh, ow, self.out_channels).transpose(0, 3, 1, 2)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        n = grad_out.shape[0]
+        oh, ow = self._out_hw
+        grad2d = grad_out.transpose(0, 2, 3, 1).reshape(n * oh * ow,
+                                                        self.out_channels)
+        self.weight.grad += self.gemm(grad2d.T, self._cols)
+        if self.bias is not None:
+            self.bias.grad += grad2d.sum(axis=0)
+        grad_cols = self.gemm(grad2d, self.weight.data)
+        return col2im(grad_cols, self._x_shape, self.kernel, self.stride,
+                      self.pad)
+
+
+class ReLU(Module):
+    def __init__(self):
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return np.where(self._mask, grad_out, 0.0)
+
+
+class BatchNorm2d(Module):
+    """Per-channel batch normalization over ``(N, H, W)``.
+
+    Kept at full precision — normalization statistics are not GEMMs and
+    the paper quantizes only the matrix-multiply datapath.
+    """
+
+    def __init__(self, channels: int, momentum: float = 0.1,
+                 eps: float = 1e-5):
+        super().__init__()
+        self.channels = channels
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(channels), name="bn.gamma")
+        self.beta = Parameter(np.zeros(channels), name="bn.beta")
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean += self.momentum * (mean - self.running_mean)
+            self.running_var += self.momentum * (var - self.running_var)
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        self._cache = (x_hat, inv_std)
+        return (self.gamma.data[None, :, None, None] * x_hat
+                + self.beta.data[None, :, None, None])
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x_hat, inv_std = self._cache
+        self.gamma.grad += (grad_out * x_hat).sum(axis=(0, 2, 3))
+        self.beta.grad += grad_out.sum(axis=(0, 2, 3))
+        g = grad_out * self.gamma.data[None, :, None, None]
+        mean_g = g.mean(axis=(0, 2, 3), keepdims=True)
+        mean_gx = (g * x_hat).mean(axis=(0, 2, 3), keepdims=True)
+        grad_x = (g - mean_g - x_hat * mean_gx) * inv_std[None, :, None, None]
+        return grad_x
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over feature vectors ``(N, F)``."""
+
+    def __init__(self, features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.features = features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(features), name="bn1d.gamma")
+        self.beta = Parameter(np.zeros(features), name="bn1d.beta")
+        self.running_mean = np.zeros(features)
+        self.running_var = np.ones(features)
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean += self.momentum * (mean - self.running_mean)
+            self.running_var += self.momentum * (var - self.running_var)
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std)
+        return self.gamma.data * x_hat + self.beta.data
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x_hat, inv_std = self._cache
+        count = grad_out.shape[0]
+        self.gamma.grad += (grad_out * x_hat).sum(axis=0)
+        self.beta.grad += grad_out.sum(axis=0)
+        g = grad_out * self.gamma.data
+        grad_x = g - (g.sum(axis=0) + x_hat * (g * x_hat).sum(axis=0)) / count
+        return grad_x * inv_std
+
+
+class MaxPool2d(Module):
+    """Non-overlapping max pooling (kernel == stride)."""
+
+    def __init__(self, kernel: int):
+        super().__init__()
+        self.kernel = kernel
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.kernel
+        oh, ow = h // k, w // k
+        view = x[:, :, :oh * k, :ow * k].reshape(n, c, oh, k, ow, k)
+        out = view.max(axis=(3, 5))
+        self._cache = (view, out, x.shape)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        view, out, x_shape = self._cache
+        mask = view == out[:, :, :, None, :, None]
+        # Split gradient evenly among ties (rare with float activations).
+        counts = mask.sum(axis=(3, 5), keepdims=True)
+        grad_view = mask * (grad_out[:, :, :, None, :, None] / counts)
+        n, c, h, w = x_shape
+        k = self.kernel
+        grad_x = np.zeros(x_shape, dtype=grad_out.dtype)
+        oh, ow = h // k, w // k
+        grad_x[:, :, :oh * k, :ow * k] = grad_view.reshape(n, c, oh * k, ow * k)
+        return grad_x
+
+
+class GlobalAvgPool2d(Module):
+    """Global average pooling ``(N, C, H, W) -> (N, C)``."""
+
+    def __init__(self):
+        super().__init__()
+        self._shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        n, c, h, w = self._shape
+        scale = 1.0 / (h * w)
+        return np.broadcast_to(
+            grad_out[:, :, None, None] * scale, self._shape
+        ).copy()
+
+
+class Flatten(Module):
+    def __init__(self):
+        super().__init__()
+        self._shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out.reshape(self._shape)
+
+
+class Dropout(Module):
+    """Inverted dropout (active only in training mode)."""
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._mask = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask

@@ -1,0 +1,56 @@
+"""Loss functions (full precision, as in the paper's mixed setup)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .functional import one_hot, softmax
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over logits with integer class labels.
+
+    ``forward`` returns the mean loss; ``backward`` returns the gradient
+    with respect to the logits (already divided by the batch size).
+    """
+
+    def __init__(self):
+        self._cache: Tuple[np.ndarray, np.ndarray] = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        probs = softmax(logits)
+        self._cache = (probs, labels)
+        batch = logits.shape[0]
+        eps = 1e-12
+        picked = probs[np.arange(batch), labels]
+        return float(-np.mean(np.log(picked + eps)))
+
+    def backward(self) -> np.ndarray:
+        probs, labels = self._cache
+        batch = probs.shape[0]
+        grad = (probs - one_hot(labels, probs.shape[1])) / batch
+        return grad
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)
+
+
+class MSELoss:
+    """Mean squared error over arbitrary-shaped targets."""
+
+    def __init__(self):
+        self._cache = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        diff = predictions - targets
+        self._cache = diff
+        return float(np.mean(diff ** 2))
+
+    def backward(self) -> np.ndarray:
+        diff = self._cache
+        return 2.0 * diff / diff.size
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)

@@ -1,0 +1,59 @@
+"""Dynamic loss scaling (Micikevicius et al., cited as [11] in the paper).
+
+"A dynamic loss scaling technique was applied to all experiments, using
+an initial scaling factor of 1024" (Sec. IV-A).  The loss is multiplied
+by the scale before backpropagation so small gradients survive the
+limited dynamic range of the low-precision formats; if any gradient
+overflows (inf/NaN), the step is skipped and the scale halves; after a
+stable run of steps, the scale doubles.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .module import Parameter
+
+
+class DynamicLossScaler:
+    """Adaptive loss-scale state machine: backoff on overflow, grow when
+    stable (see module docstring for the paper context)."""
+
+    def __init__(self, init_scale: float = 1024.0, growth_factor: float = 2.0,
+                 backoff_factor: float = 0.5, growth_interval: int = 200,
+                 max_scale: float = 2.0 ** 24, min_scale: float = 1.0):
+        self.scale = init_scale
+        self.growth_factor = growth_factor
+        self.backoff_factor = backoff_factor
+        self.growth_interval = growth_interval
+        self.max_scale = max_scale
+        self.min_scale = min_scale
+        self.good_steps = 0
+        self.skipped_steps = 0
+
+    def scale_loss_grad(self, grad: np.ndarray) -> np.ndarray:
+        """Scale the loss gradient before backpropagation."""
+        return grad * self.scale
+
+    def grads_finite(self, parameters: Iterable[Parameter]) -> bool:
+        return all(np.all(np.isfinite(p.grad)) for p in parameters)
+
+    def unscale(self, parameters: Iterable[Parameter]) -> None:
+        inv = 1.0 / self.scale
+        for param in parameters:
+            param.grad *= inv
+
+    def update(self, found_overflow: bool) -> bool:
+        """Adjust the scale; returns True if the step should proceed."""
+        if found_overflow:
+            self.scale = max(self.min_scale, self.scale * self.backoff_factor)
+            self.good_steps = 0
+            self.skipped_steps += 1
+            return False
+        self.good_steps += 1
+        if self.good_steps >= self.growth_interval:
+            self.scale = min(self.max_scale, self.scale * self.growth_factor)
+            self.good_steps = 0
+        return True

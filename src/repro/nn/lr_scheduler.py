@@ -1,0 +1,48 @@
+"""Learning-rate schedules (the paper uses cosine annealing)."""
+
+from __future__ import annotations
+
+import math
+
+from .optim import SGD
+
+
+class CosineAnnealingLR:
+    """Cosine decay from the initial rate to ``eta_min`` over ``t_max`` epochs.
+
+    "To modulate the learning rate throughout training, we employed a
+    cosine annealing scheduler" (Sec. IV-A).
+    """
+
+    def __init__(self, optimizer: SGD, t_max: int, eta_min: float = 0.0):
+        self.optimizer = optimizer
+        self.t_max = max(1, t_max)
+        self.eta_min = eta_min
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self.epoch += 1
+        t = min(self.epoch, self.t_max)
+        lr = self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1.0 + math.cos(math.pi * t / self.t_max)
+        )
+        self.optimizer.lr = lr
+        return lr
+
+
+class MultiStepLR:
+    """Step decay at the given epoch milestones."""
+
+    def __init__(self, optimizer: SGD, milestones, gamma: float = 0.1):
+        self.optimizer = optimizer
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+        self.epoch = 0
+
+    def step(self) -> float:
+        self.epoch += 1
+        if self.epoch in self.milestones:
+            self.optimizer.lr *= self.gamma
+        return self.optimizer.lr

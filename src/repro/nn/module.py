@@ -1,0 +1,137 @@
+"""Module base class and parameter container.
+
+A deliberately small layer framework: modules cache what they need during
+``forward`` and implement an explicit ``backward``; parameters are
+float64 "master copies" (the mixed-precision training convention — the
+MAC emulation quantizes GEMM *inputs*, while weight updates happen at
+full precision, as in the paper's loss-scaled training setup).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with its gradient accumulator."""
+
+    def __init__(self, data: np.ndarray, name: str = ""):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Parameter({self.name or 'unnamed'}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class: explicit forward/backward with parameter discovery."""
+
+    def __init__(self):
+        self.training = True
+
+    # -- overridables ---------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- common machinery -------------------------------------------------
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def parameters(self) -> List[Parameter]:
+        found: List[Parameter] = []
+        self._collect(found, set())
+        return found
+
+    def _collect(self, out: List[Parameter], seen: set) -> None:
+        for value in self.__dict__.values():
+            if isinstance(value, Parameter) and id(value) not in seen:
+                seen.add(id(value))
+                out.append(value)
+            elif isinstance(value, Module):
+                value._collect(out, seen)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._collect(out, seen)
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def parameter_count(self) -> int:
+        return sum(int(np.prod(p.shape)) for p in self.parameters())
+
+    def state_dict(self) -> dict:
+        return {i: p.data.copy() for i, p in enumerate(self.parameters())}
+
+    def load_state_dict(self, state: dict) -> None:
+        for i, p in enumerate(self.parameters()):
+            p.data[...] = state[i]
+
+
+class Sequential(Module):
+    """Chain of modules executed in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def append(self, layer: Module) -> "Sequential":
+        self.layers.append(layer)
+        return self
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self):
+        return len(self.layers)
+
+
+#: GEMM callable signature used by the compute layers.
+GemmFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def default_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Full-precision GEMM (the FP32 baseline path)."""
+    return a @ b

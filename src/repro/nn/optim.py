@@ -1,0 +1,41 @@
+"""Optimizers.  The paper trains with SGD, momentum 0.9, weight decay."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .module import Parameter
+
+
+class SGD:
+    """Stochastic gradient descent with classical momentum and L2 decay.
+
+    Matches the paper's training settings (Sec. IV-A): momentum 0.9,
+    weight decay 1e-4 / 5e-4 depending on the model.  Updates apply to
+    the full-precision master parameters.
+    """
+
+    def __init__(self, parameters: List[Parameter], lr: float,
+                 momentum: float = 0.9, weight_decay: float = 0.0):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.velocities = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self.velocities):
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            velocity *= self.momentum
+            velocity += grad
+            param.data -= self.lr * velocity
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()

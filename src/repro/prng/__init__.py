@@ -1,0 +1,13 @@
+"""Pseudo-random number generation for stochastic rounding hardware."""
+
+from .lfsr import GALOIS_TAPS, GaloisLFSR, VectorLFSR
+from .streams import LFSRStream, RandomBitStream, SoftwareStream
+
+__all__ = [
+    "GALOIS_TAPS",
+    "GaloisLFSR",
+    "VectorLFSR",
+    "RandomBitStream",
+    "SoftwareStream",
+    "LFSRStream",
+]

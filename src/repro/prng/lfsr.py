@@ -1,0 +1,171 @@
+"""Galois linear feedback shift registers.
+
+The MAC unit's random number generator (paper Sec. III c) is an ``r``-bit
+PRNG "based on a Galois linear feedback shift register (LFSR)" that runs in
+parallel and asynchronously with the multiplier.  This module provides a
+bit-accurate scalar model (suitable for cycle-level RTL co-simulation) and
+a vectorized model that advances many independent LFSRs at once for the
+training emulation.
+
+Tap polynomials are maximal-length for every width from 2 to 32, covering
+all values of ``r`` used in the paper (4, 7, 9, 11, 13, 14, 27).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+#: Maximal-length feedback polynomial exponents per width (XAPP052-style).
+#: Width w uses p(x) = x^w + x^t1 + ... + 1; sequences have period 2**w - 1.
+MAXIMAL_TAPS = {
+    2: (2, 1),
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 6, 4, 1),
+    13: (13, 4, 3, 1),
+    14: (14, 5, 3, 1),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    17: (17, 14),
+    18: (18, 11),
+    19: (19, 6, 2, 1),
+    20: (20, 17),
+    21: (21, 19),
+    22: (22, 21),
+    23: (23, 18),
+    24: (24, 23, 22, 17),
+    25: (25, 22),
+    26: (26, 6, 2, 1),
+    27: (27, 5, 2, 1),
+    28: (28, 25),
+    29: (29, 27),
+    30: (30, 6, 4, 1),
+    31: (31, 28),
+    32: (32, 22, 2, 1),
+}
+
+
+def galois_mask(width: int, taps: Optional[Sequence[int]] = None) -> int:
+    """Feedback mask for a right-shifting Galois LFSR.
+
+    Bit ``t - 1`` is set for each tap exponent ``t`` (including the leading
+    ``x^width`` term, which re-injects the shifted-out bit at the MSB).
+    """
+    if taps is None:
+        if width not in MAXIMAL_TAPS:
+            raise ValueError(f"no default taps for width {width}")
+        taps = MAXIMAL_TAPS[width]
+    mask = 0
+    for t in taps:
+        if not 1 <= t <= width:
+            raise ValueError(f"tap {t} out of range for width {width}")
+        mask |= 1 << (t - 1)
+    return mask
+
+
+#: Precomputed Galois feedback masks for the default polynomials.
+GALOIS_TAPS = {w: galois_mask(w) for w in MAXIMAL_TAPS}
+
+
+class GaloisLFSR:
+    """Bit-accurate Galois LFSR of a given width.
+
+    The register shifts right one bit per :meth:`step`; when the bit
+    shifted out is 1, the feedback mask is XORed into the register.  The
+    state never reaches zero (all-ones reset by default), giving the full
+    ``2**width - 1`` period with the default maximal-length polynomials.
+    """
+
+    def __init__(self, width: int, seed: Optional[int] = None,
+                 taps: Optional[Sequence[int]] = None):
+        self.width = width
+        self.mask = galois_mask(width, taps)
+        self._state_mask = (1 << width) - 1
+        if seed is None:
+            seed = self._state_mask
+        self.reset(seed)
+
+    def reset(self, seed: int) -> None:
+        """Load a new state.  A zero seed is remapped to all-ones (the
+        zero state is a fixed point of the LFSR and must be avoided)."""
+        seed &= self._state_mask
+        self.state = seed if seed else self._state_mask
+
+    def step(self) -> int:
+        """Advance one cycle; returns the new state."""
+        lsb = self.state & 1
+        self.state >>= 1
+        if lsb:
+            self.state ^= self.mask
+            self.state &= self._state_mask
+        return self.state
+
+    def next_value(self) -> int:
+        """Advance one cycle and return the state as the r-bit random draw."""
+        return self.step()
+
+    def sequence(self, count: int) -> List[int]:
+        """The next ``count`` draws."""
+        return [self.step() for _ in range(count)]
+
+    def __iter__(self) -> Iterator[int]:  # pragma: no cover - convenience
+        while True:
+            yield self.step()
+
+    def period(self, limit: Optional[int] = None) -> int:
+        """Measure the cycle length from the current state (test helper)."""
+        if limit is None:
+            limit = (1 << self.width) + 1
+        start = self.state
+        for count in range(1, limit + 1):
+            if self.step() == start:
+                return count
+        raise RuntimeError("period exceeds limit")
+
+
+class VectorLFSR:
+    """Many independent Galois LFSRs advanced together with numpy.
+
+    Used by the GEMM emulation when a bit-accurate hardware random stream
+    is requested (one LFSR per MAC lane).  States are uint64; widths are
+    limited to 32 bits like the scalar model.
+    """
+
+    def __init__(self, width: int, lanes: int, seed: int = 1):
+        self.width = width
+        self.lanes = lanes
+        mask = np.uint64((1 << width) - 1)
+        rng = np.random.default_rng(seed)
+        states = rng.integers(1, 1 << width, size=lanes, dtype=np.uint64)
+        self.states = states & mask
+        self.states[self.states == 0] = mask
+        self._feedback = np.uint64(galois_mask(width))
+
+    def step(self) -> np.ndarray:
+        """Advance every lane one cycle; returns the new states."""
+        lsb = self.states & np.uint64(1)
+        self.states >>= np.uint64(1)
+        self.states ^= lsb * self._feedback
+        return self.states
+
+    def draw(self, shape) -> np.ndarray:
+        """Draw random integers of the given shape (row-major lane reuse).
+
+        The flattened output cycles over the lanes; each reuse of a lane
+        advances its LFSR one step, mimicking one shared PRNG bank feeding
+        a systolic array over time.
+        """
+        total = int(np.prod(shape))
+        steps = -(-total // self.lanes)  # ceil division
+        chunks = [self.step().copy() for _ in range(steps)]
+        flat = np.concatenate(chunks)[:total]
+        return flat.reshape(shape)

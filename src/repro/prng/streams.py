@@ -1,0 +1,53 @@
+"""Random-bit stream sources for stochastic rounding.
+
+The emulation flow lets experiments choose where the SR random bits come
+from: a fast software generator (numpy PCG64, the default for training
+runs) or the bit-accurate LFSR bank that mirrors the hardware PRNG.  Both
+implement the same two-method protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from .lfsr import VectorLFSR
+
+
+class RandomBitStream(Protocol):
+    """Protocol for SR randomness sources."""
+
+    def integers(self, rbits: int, shape) -> np.ndarray:
+        """Uniform integers in ``[0, 2**rbits)`` with the given shape."""
+        ...  # pragma: no cover
+
+
+class SoftwareStream:
+    """numpy-PCG64-backed stream (fast path for training emulation)."""
+
+    def __init__(self, seed: int = 0):
+        self.rng = np.random.default_rng(seed)
+
+    def integers(self, rbits: int, shape) -> np.ndarray:
+        return self.rng.integers(0, 1 << rbits, size=shape, dtype=np.uint64)
+
+
+class LFSRStream:
+    """Hardware-faithful stream: a bank of Galois LFSRs of width ``rbits``.
+
+    A separate bank is instantiated lazily per requested width so one
+    stream object can serve experiments that sweep ``r``.
+    """
+
+    def __init__(self, lanes: int = 4096, seed: int = 1):
+        self.lanes = lanes
+        self.seed = seed
+        self._banks = {}
+
+    def integers(self, rbits: int, shape) -> np.ndarray:
+        bank = self._banks.get(rbits)
+        if bank is None:
+            bank = VectorLFSR(rbits, self.lanes, seed=self.seed + rbits)
+            self._banks[rbits] = bank
+        return bank.draw(shape)

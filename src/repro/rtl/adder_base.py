@@ -1,0 +1,183 @@
+"""Common dataflow of the dual-path floating-point adder designs.
+
+All three designs in the paper (RN, lazy SR, eager SR — Fig. 3) share the
+same front end, summarized in Sec. III-A:
+
+  (i)   reorder and swap so ``|x| >= |y|``;
+  (ii)  significand alignment (shift ``y`` right by ``d = ex - ey``);
+  (iii) significand addition (far path for ``d > 1``, close path for
+        ``d <= 1``);
+  (iv)  normalization (carry-dependent 1-bit realignment for effective
+        addition, LZD-driven left shift for cancellation);
+  (v)   rounding.
+
+Only steps (ii) and (v) differ between designs — how many fraction bits
+survive alignment and how the rounding decision is computed — so this base
+class implements (i)-(iv) once and defers two small hooks to subclasses.
+
+Bit conventions
+---------------
+After alignment the datapath value is the integer
+``T = (sig_x << F) +/- ((sig_y << F) >> d)`` where ``F`` is the design's
+fraction width (``r`` for the SR designs, exact for RN which ORs dropped
+alignment bits into a sticky).  The final result keeps ``p`` significand
+bits; ``k`` denotes how many low bits of ``T`` fall below the final LSB
+(``k = F + 1`` when the addition carries out, ``k = F - L`` after a
+left-normalization by ``L``).  Every rounding hook receives ``(T, k)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..fp.formats import FPFormat
+from .fpcore import Operand, SpecialValue, pack, unpack
+
+
+@dataclass
+class AdderTrace:
+    """Execution trace of one addition, for coverage and validation."""
+
+    path: str = "far"            # "far", "close", or "special"
+    effective_sub: bool = False
+    swap: bool = False
+    align_shift: int = 0         # d
+    carry: bool = False          # carry out of the significand addition
+    norm_shift: int = 0          # left normalization amount L (0 if none)
+    round_up: bool = False
+    frac_bits: int = 0           # fraction pattern fed to the rounding decision
+    detail: str = ""             # design-specific annotation (eager stage info)
+
+
+@dataclass
+class AdderResult:
+    """Result value plus its execution trace."""
+
+    value: float
+    trace: AdderTrace = field(default_factory=AdderTrace)
+
+
+class FPAdderBase:
+    """Base class for the behavioral dual-path adder models."""
+
+    #: human-readable design name, set by subclasses
+    design = "base"
+
+    def __init__(self, fmt: FPFormat):
+        self.fmt = fmt
+
+    # ------------------------------------------------------------------
+    # Hooks implemented by each design
+    # ------------------------------------------------------------------
+    def _fraction_width(self, d: int) -> int:
+        """Fraction bits kept below the significand after alignment."""
+        raise NotImplementedError
+
+    def _round_up(self, T: int, k: int, sig_pre: int, random_int: int,
+                  trace: AdderTrace) -> bool:
+        """Whether the magnitude rounds up, given ``k`` discarded bits."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared dataflow
+    # ------------------------------------------------------------------
+    def add(self, x: float, y: float, random_int: int = 0) -> AdderResult:
+        """Add two representable values of this adder's format."""
+        trace = AdderTrace()
+        special = self._handle_specials(x, y)
+        if special is not None:
+            trace.path = "special"
+            return AdderResult(special, trace)
+
+        ox = unpack(x, self.fmt)
+        oy = unpack(y, self.fmt)
+        if ox is None and oy is None:
+            # IEEE: (-0) + (-0) = -0; otherwise +0.
+            negative = (
+                x == 0.0 and y == 0.0
+                and _is_negative_zero(x) and _is_negative_zero(y)
+            )
+            return AdderResult(-0.0 if negative else 0.0, trace)
+        if oy is None:
+            return AdderResult(_operand_value(ox, self.fmt), trace)
+        if ox is None:
+            return AdderResult(_operand_value(oy, self.fmt), trace)
+
+        if oy.magnitude_key() > ox.magnitude_key():
+            ox, oy = oy, ox
+            trace.swap = True
+
+        effective_sub = ox.sign != oy.sign
+        d = ox.exp - oy.exp
+        trace.effective_sub = effective_sub
+        trace.align_shift = d
+        trace.path = "close" if effective_sub and d <= 1 else "far"
+
+        F = self._fraction_width(d)
+        x_ext = ox.sig << F
+        y_ext = (oy.sig << F) >> d
+        T = x_ext - y_ext if effective_sub else x_ext + y_ext
+        if T == 0:
+            return AdderResult(0.0, trace)  # exact cancellation -> +0
+
+        sign = ox.sign
+        exp = ox.exp
+        p = self.fmt.precision
+
+        # --- normalization (iv) -----------------------------------------
+        top = 1 << (p - 1 + F)
+        if T >= (top << 1):
+            # Carry out: realign one position up, exponent increments.
+            trace.carry = True
+            k = F + 1
+            exp += 1
+        else:
+            L = 0
+            while T < top and L < exp - self.fmt.emin:
+                T_shifted = T << 1
+                if T_shifted >= (top << 1):  # cannot happen; guard
+                    break
+                T = T_shifted
+                L += 1
+            # Gradual underflow: the shift stops at emin, leaving a
+            # denormal significand (flushed later if unsupported).
+            trace.norm_shift = L
+            k = F
+            exp -= L
+
+        sig_pre = T >> k if k >= 0 else T << (-k)
+        round_up = self._round_up(T, k, sig_pre, random_int, trace)
+        trace.round_up = round_up
+        sig = sig_pre + (1 if round_up else 0)
+        value = pack(sign, exp, sig, self.fmt)
+        return AdderResult(value, trace)
+
+    def __call__(self, x: float, y: float, random_int: int = 0) -> float:
+        return self.add(x, y, random_int).value
+
+    # ------------------------------------------------------------------
+    def _handle_specials(self, x: float, y: float) -> Optional[float]:
+        """IEEE special-value lattice for addition; None if both finite."""
+        x_nan, y_nan = x != x, y != y
+        if x_nan or y_nan:
+            return float("nan")
+        x_inf = x in (float("inf"), float("-inf"))
+        y_inf = y in (float("inf"), float("-inf"))
+        if x_inf and y_inf:
+            return x if x == y else float("nan")
+        if x_inf:
+            return x
+        if y_inf:
+            return y
+        return None
+
+
+def _operand_value(op: Operand, fmt: FPFormat) -> float:
+    return op.sign * op.sig * 2.0 ** (op.exp - fmt.mantissa_bits)
+
+
+def _is_negative_zero(v: float) -> bool:
+    import math
+
+    return v == 0.0 and math.copysign(1.0, v) < 0

@@ -1,0 +1,40 @@
+"""Round-to-nearest-even dual-path floating-point adder (baseline).
+
+This is the reference accumulator design of Sec. III-A before SR is
+introduced: guard and round bits at positions ``p+1`` / ``p+2`` plus a
+sticky bit (logical OR of everything below), computed during alignment.
+
+The behavioral model keeps the full aligned fraction (an exact integer),
+which is bit-for-bit equivalent to hardware guard/round/sticky logic —
+the sticky OR loses no information relevant to the RN decision.
+"""
+
+from __future__ import annotations
+
+from .adder_base import AdderTrace, FPAdderBase
+
+
+class FPAdderRN(FPAdderBase):
+    """Floating-point adder with round-to-nearest, ties-to-even."""
+
+    design = "rn"
+
+    def _fraction_width(self, d: int) -> int:
+        # Exact alignment: hardware ORs bits below p+2 into a sticky,
+        # which is information-equivalent for RN.
+        return max(d, 2)
+
+    def _round_up(self, T: int, k: int, sig_pre: int, random_int: int,
+                  trace: AdderTrace) -> bool:
+        if k <= 0:
+            trace.frac_bits = 0
+            return False
+        low = T & ((1 << k) - 1)
+        half = 1 << (k - 1)
+        # Encode (guard, sticky) in the trace for coverage tests.
+        trace.frac_bits = ((low >= half) << 1) | (low not in (0, half))
+        if low > half:
+            return True
+        if low < half:
+            return False
+        return bool(sig_pre & 1)  # tie: round to even

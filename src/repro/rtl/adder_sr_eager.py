@@ -1,0 +1,101 @@
+"""Reduced-latency (eager) stochastic-rounding adder — Fig. 3b / Fig. 4.
+
+The eager design starts rounding right after significand alignment: the
+``r - 2`` least-significant random bits are added to the deep fraction
+bits of the aligned addend (the *Sticky Round* block), so that only a tiny
+*Round Correction* — a 2-bit addition selecting between the stage-one
+outputs ``S'1``/``S'2`` depending on the normalization case, plus the
+G-bit LSB substitution — remains after normalization.  The LZD and
+normalization shifter therefore stay ``p + 2`` bits wide instead of the
+lazy design's ``p + r``, which is where the paper's area and delay savings
+come from.
+
+This behavioral model reproduces the staged dataflow explicitly and is
+exactly equivalent, for the same random draw, to the lazy reference — the
+property the paper validates by brute force in Sec. III-B.  The three
+normalization cases map to the stage-one output selection as follows
+(``T`` is the aligned sum, ``k`` the number of fraction bits below the
+final LSB, ``R = R_hi * 2**(r-2) + R_lo``):
+
+* **carry, no shift (Fig. 4a)** — ``k = r + 1``: the stage-one carry
+  ``S'1`` out of ``T[r-2:1] + R_lo`` joins ``R_hi`` and the top two
+  fraction bits in the Round Correction.
+* **no carry, no cancellation** — ``k = r``: the corrected stage-one sum
+  over ``T[r-3:0]`` supplies the carry (the ``S'2`` selection of
+  Fig. 4b), the G bit is substituted into the result LSB by the shared
+  normalization logic.
+* **cancellation by ``L`` (close path)** — ``k = r - L``: the fraction is
+  zero-filled from the left shift; the random string realigns by dropping
+  its ``L`` low bits (``R >> L``), which is the generalized ``S'``
+  reselection.
+"""
+
+from __future__ import annotations
+
+from ..fp.formats import FPFormat
+from .adder_base import AdderTrace, FPAdderBase
+
+
+class FPAdderSREager(FPAdderBase):
+    """Floating-point adder with eager (pre-normalization) SR."""
+
+    design = "sr_eager"
+
+    def __init__(self, fmt: FPFormat, rbits: int):
+        super().__init__(fmt)
+        if rbits < 3:
+            raise ValueError("SR adders require rbits >= 3")
+        self.rbits = rbits
+
+    def _fraction_width(self, d: int) -> int:
+        return self.rbits
+
+    def _round_up(self, T: int, k: int, sig_pre: int, random_int: int,
+                  trace: AdderTrace) -> bool:
+        r = self.rbits
+        if not 0 <= random_int < (1 << r):
+            raise ValueError(f"random_int out of range for r={r}")
+        if k <= 0:
+            trace.frac_bits = 0
+            trace.detail = "exact"
+            return False
+        r_lo = random_int & ((1 << (r - 2)) - 1)
+        r_hi = random_int >> (r - 2)
+        low_mask = (1 << (r - 2)) - 1
+
+        if k == r + 1:
+            # Fig. 4a: carry out of the addition, result unshifted.
+            # Sticky Round ran on the deep bits T[r-2:1]; its carry S'1
+            # feeds the Round Correction with R_hi and the top two
+            # fraction bits T[r:r-1].
+            deep = (T >> 1) & low_mask
+            stage1 = deep + r_lo
+            s1_carry = stage1 >> (r - 2)
+            top2 = (T >> (r - 1)) & 0b11
+            trace.frac_bits = (top2 << (r - 2)) | deep
+            trace.detail = "carry:S'1"
+            return top2 + r_hi + s1_carry >= 4
+
+        if k == r:
+            # Fig. 4b: no carry; the 1-bit normalization realigns the
+            # rounding position, the G bit substitutes the result LSB and
+            # the stage-one carry is taken one position lower (the S'2
+            # selection): the Sticky Round sum is re-read over T[r-3:0].
+            deep = T & low_mask
+            stage1 = deep + r_lo
+            s1_carry = stage1 >> (r - 2)
+            top2 = (T >> (r - 2)) & 0b11
+            trace.frac_bits = (top2 << (r - 2)) | deep
+            trace.detail = "noshift:S'2"
+            return top2 + r_hi + s1_carry >= 4
+
+        # Generalized realignment (k < r).  Unreachable through add() —
+        # the shared normalization shifter zero-fills T before rounding,
+        # so post-cancellation rounding lands in the k == r case above —
+        # but kept for direct use: dropping the random string's low bits
+        # keeps the decision exact:
+        #   frac * 2**(r-k) + R >= 2**r  <=>  frac + (R >> (r-k)) >= 2**k.
+        low = T & ((1 << k) - 1)
+        trace.frac_bits = (low << r) >> k
+        trace.detail = f"cancel:L={r - k}"
+        return low + (random_int >> (r - k)) >= (1 << k)

@@ -1,0 +1,49 @@
+"""Classic (lazy) stochastic-rounding floating-point adder — Fig. 3a.
+
+Rounding is deferred until after normalization: the datapath carries
+``p + r`` bits through the LZD and normalization shifter (the width
+overhead the paper attributes to the lazy design), then the ``r``-bit
+random string is added to the ``r`` fraction bits below the normalized
+significand; a carry out rounds the magnitude up.
+
+Alignment truncates the addend at ``r`` fraction bits (no sticky — the
+random addition replaces sticky logic, Sec. II-A / Fig. 1).  In the
+carry-out case the fraction is realigned one position down and its lowest
+bit falls off the ``p + r``-wide datapath, exactly as in the RTL.
+"""
+
+from __future__ import annotations
+
+from ..fp.formats import FPFormat
+from .adder_base import AdderTrace, FPAdderBase
+
+
+class FPAdderSRLazy(FPAdderBase):
+    """Floating-point adder with lazy (post-normalization) SR."""
+
+    design = "sr_lazy"
+
+    def __init__(self, fmt: FPFormat, rbits: int):
+        super().__init__(fmt)
+        if rbits < 3:
+            raise ValueError("SR adders require rbits >= 3")
+        self.rbits = rbits
+
+    def _fraction_width(self, d: int) -> int:
+        return self.rbits
+
+    def _round_up(self, T: int, k: int, sig_pre: int, random_int: int,
+                  trace: AdderTrace) -> bool:
+        r = self.rbits
+        if not 0 <= random_int < (1 << r):
+            raise ValueError(f"random_int out of range for r={r}")
+        if k <= 0:
+            trace.frac_bits = 0
+            return False
+        # r-bit fraction below the final LSB.  k == r + 1 (carry case)
+        # drops the lowest bit — the p+r datapath width limit; k < r
+        # (post-cancellation) zero-fills from the left shift.
+        low = T & ((1 << k) - 1)
+        frac = (low << r) >> k
+        trace.frac_bits = frac
+        return frac + random_int >= (1 << r)

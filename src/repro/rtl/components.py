@@ -1,0 +1,165 @@
+"""Parameterized structural components for the adder/MAC netlists.
+
+Each factory documents its gate-count and depth formulas.  The synthesis
+experiments relax timing and optimize for area (paper Sec. III-C1), so
+significand arithmetic uses ripple-carry structures (linear depth) rather
+than parallel-prefix trees; carry-only units (round-up detection, the
+eager Sticky Round) use generate/propagate trees because their sum
+outputs are unused; exponent-path arithmetic is short and synthesis makes
+it comparatively faster, modeled by a smaller per-bit delay slope.
+
+Depths are in normalized gate delays ("tau"); areas in NAND2-equivalent
+gate counts via :data:`repro.rtl.netlist.PRIMITIVE_AREA_GE`.  Absolute
+units are fixed later by single-row calibration (repro.synth.calibration);
+only the relative structure matters here.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .netlist import Component
+
+#: Per-bit carry delay of an area-optimized ripple adder (significand path).
+ADDER_TAU_PER_BIT = 2.6
+#: Per-bit delay of the rounding incrementer's carry chain.
+INCREMENTER_TAU_PER_BIT = 1.4
+#: Per-bit delay of the linear (area-optimized) leading-zero detector.
+LZD_TAU_PER_BIT = 0.8
+#: Per-bit carry delay on the short exponent path.
+EXP_TAU_PER_BIT = 0.8
+
+
+def _clog2(n: int) -> int:
+    return max(1, math.ceil(math.log2(max(2, n))))
+
+
+def ripple_adder(name: str, width: int, *, subtract: bool = False,
+                 tau_per_bit: float = ADDER_TAU_PER_BIT,
+                 activity: float = 0.40) -> Component:
+    """Ripple-carry adder/subtractor: one full adder per bit.
+
+    FA = 2 XOR + 2 AND + 1 OR; a subtractor adds an input XOR row for
+    two's complementing.
+    """
+    gates = {"xor2": 2.0 * width, "and2": 2.0 * width, "or2": 1.0 * width}
+    if subtract:
+        gates["xor2"] += width
+    return Component(name, "ripple_adder", width, gates,
+                     delay_tau=tau_per_bit * width + 2.0, activity=activity)
+
+
+def exp_adder(name: str, width: int, *, subtract: bool = False,
+              activity: float = 0.35) -> Component:
+    """Exponent-path adder (short word, faster cells)."""
+    comp = ripple_adder(name, width, subtract=subtract,
+                        tau_per_bit=EXP_TAU_PER_BIT, activity=activity)
+    return comp
+
+
+def carry_unit(name: str, width: int, *, activity: float = 0.45) -> Component:
+    """Carry-out-only adder (round-up detection / eager Sticky Round).
+
+    The sum bits are discarded, so synthesis reduces ``A + B >= 2**n`` to
+    a log-depth generate/propagate network of ~3 GE per bit.
+    """
+    gates = {"and2": 1.0 * width, "or2": 1.0 * width}
+    return Component(name, "carry_unit", width, gates,
+                     delay_tau=1.2 * _clog2(width) + 1.0, activity=activity)
+
+
+def incrementer(name: str, width: int, *,
+                tau_per_bit: float = INCREMENTER_TAU_PER_BIT,
+                activity: float = 0.25) -> Component:
+    """Half-adder chain (+1): XOR + AND per bit with a ripple carry."""
+    gates = {"xor2": 1.0 * width, "and2": 1.0 * width}
+    return Component(name, "incrementer", width, gates,
+                     delay_tau=tau_per_bit * width + 1.0, activity=activity)
+
+
+def barrel_shifter(name: str, width: int, max_shift: int, *,
+                   area_scale: float = 1.0,
+                   activity: float = 0.30) -> Component:
+    """Logarithmic barrel shifter: one mux row per shift-amount bit.
+
+    ``area_scale < 1`` models datapath-extension regions where one shift
+    direction is degenerate (constant fill) and synthesis prunes muxes.
+    """
+    stages = _clog2(max_shift + 1)
+    gates = {"mux2": float(width * stages) * area_scale}
+    return Component(name, "barrel_shifter", width, gates,
+                     delay_tau=1.2 * stages + 1.0, activity=activity)
+
+
+def lzd(name: str, width: int, *, activity: float = 0.20) -> Component:
+    """Leading-zero detector: area-optimized linear priority chain."""
+    gates = {"or2": 1.5 * width, "and2": 1.5 * width}
+    return Component(name, "lzd", width, gates,
+                     delay_tau=LZD_TAU_PER_BIT * width + 1.0,
+                     activity=activity)
+
+
+def comparator(name: str, width: int, *, activity: float = 0.25) -> Component:
+    """Magnitude comparator: XNOR row + priority tree."""
+    gates = {"xor2": 1.0 * width, "and2": 1.0 * width, "or2": 0.5 * width}
+    return Component(name, "comparator", width, gates,
+                     delay_tau=1.2 * _clog2(width) + 1.0, activity=activity)
+
+
+def mux_bus(name: str, width: int, *, activity: float = 0.30) -> Component:
+    """2:1 mux across a bus (swap / select rows)."""
+    return Component(name, "mux_bus", width, {"mux2": float(width)},
+                     delay_tau=1.2, activity=activity)
+
+
+def or_tree(name: str, width: int, *, activity: float = 0.20) -> Component:
+    """OR-reduction tree (sticky-bit / subnormal-detect computation)."""
+    gates = {"or2": float(max(1, width - 1))}
+    return Component(name, "or_tree", width, gates,
+                     delay_tau=0.8 * _clog2(width), activity=activity)
+
+
+def register(name: str, width: int, *, activity: float = 0.50) -> Component:
+    """Flip-flop bank (I/O, staging, accumulator registers)."""
+    return Component(name, "register", width, {"ff": float(width)},
+                     delay_tau=1.0, activity=activity)
+
+
+def random_staging(name: str, rbits: int, *, activity: float = 0.50) -> Component:
+    """Staging register holding the PRNG draw stable across the addition.
+
+    Together with the width-r rounding logic this accounts for the
+    per-bit area slope of the paper's r sweep (Table V).
+    """
+    gates = {"ff": float(rbits)}
+    return Component(name, "random_staging", rbits, gates,
+                     delay_tau=1.0, activity=activity)
+
+
+def lfsr(name: str, rbits: int, taps: int = 4, *, activity: float = 0.55) -> Component:
+    """Galois LFSR: r flip-flops + feedback XORs (off the critical path)."""
+    gates = {"ff": float(rbits), "xor2": float(taps)}
+    return Component(name, "lfsr", rbits, gates,
+                     delay_tau=1.0, activity=activity)
+
+
+def control(name: str, complexity: float, *, activity: float = 0.20) -> Component:
+    """Miscellaneous control / exception logic, sized in abstract units.
+
+    ``complexity`` roughly counts product terms (~3.7 GE each).
+    """
+    gates = {"and2": complexity, "or2": complexity, "inv": complexity}
+    return Component(name, "control", int(complexity), gates,
+                     delay_tau=2.0, activity=activity)
+
+
+def array_multiplier(name: str, width: int, *, activity: float = 0.45) -> Component:
+    """Unsigned array multiplier: width^2 partial products + FA array."""
+    fa_count = float(width * max(1, width - 1))
+    gates = {
+        "and2": float(width * width) + 2.0 * fa_count,
+        "xor2": 2.0 * fa_count,
+        "or2": 1.0 * fa_count,
+    }
+    return Component(name, "multiplier", width, gates,
+                     delay_tau=1.4 * (2 * width) + 2.0, activity=activity)

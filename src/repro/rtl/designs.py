@@ -1,0 +1,202 @@
+"""Netlist elaboration for the paper's adder and MAC designs.
+
+These builders translate a :class:`repro.rtl.mac.MACConfig` into the
+structural :class:`repro.rtl.netlist.Netlist` that the synthesis models
+cost out.  The architectural claims of Sec. III are encoded here:
+
+* the **lazy SR** design (Fig. 3a) carries ``p + r`` bits through the
+  alignment, LZD and normalization (the paper's "``p + r`` versus
+  ``p + 2``" width overhead) and pays a full ``r``-bit rounding carry
+  detection after normalization, on the critical path;
+* the **eager SR** design (Fig. 3b) keeps the main datapath at
+  ``p + 2``/``p + 3`` bits: the deep fraction bits of the aligned addend
+  are tapped by a small selection network and consumed immediately by the
+  Sticky Round carry unit, in parallel with the main significand
+  addition; after normalization only the 2-bit Round Correction (S'1/S'2
+  selection) and the G-bit substitution mux remain;
+* **RN** needs guard/round/sticky extraction and the usual
+  post-normalization increment;
+* **subnormal support** adds input subnormal detection / implicit-bit
+  muxing, the underflow clamp on the normalization shift, and flush
+  control on the output path.
+
+The significand adder of the lazy design is a ``p + 3``-bit full adder
+plus a low-order carry extension over the remaining fraction bits (one
+operand is constant zero there, so synthesis degenerates those positions
+to an AND/XOR carry chain).  Datapath-extension shifter regions beyond
+``p + 3`` are modeled at reduced mux density (constant fill lets
+synthesis prune).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .components import (
+    array_multiplier,
+    barrel_shifter,
+    carry_unit,
+    comparator,
+    control,
+    exp_adder,
+    incrementer,
+    lfsr,
+    lzd,
+    mux_bus,
+    or_tree,
+    random_staging,
+    register,
+    ripple_adder,
+)
+from .mac import MACConfig
+from .netlist import Component, Netlist
+
+#: Mux-density factor for datapath-extension shifter regions.
+EXTENSION_AREA_SCALE = 0.5
+
+
+def _carry_extension(name: str, width: int) -> Optional[Component]:
+    """Degenerate low-order carry chain (one operand constant zero)."""
+    if width <= 0:
+        return None
+    gates = {"and2": 1.0 * width, "xor2": 1.0 * width}
+    return Component(name, "carry_ext", width, gates,
+                     delay_tau=0.7 * width, activity=0.35)
+
+
+def _extended_shifter(name: str, core_width: int, total_width: int,
+                      max_shift: int) -> list:
+    """A shifter whose extension region beyond the core is mux-pruned."""
+    parts = [barrel_shifter(name, core_width, max_shift)]
+    ext = total_width - core_width
+    if ext > 0:
+        parts.append(
+            barrel_shifter(name + "_ext", ext, max_shift,
+                           area_scale=EXTENSION_AREA_SCALE)
+        )
+    return parts
+
+
+def build_adder_netlist(config: MACConfig) -> Netlist:
+    """Elaborate the floating-point adder described by ``config``."""
+    E = config.exponent_bits
+    M = config.mantissa_bits
+    p = M + 1
+    r = config.rbits
+    sub = config.subnormals
+    rounding = config.rounding
+    word = 1 + E + M
+    core_width = p + 3
+
+    net = Netlist(f"adder-{config.label}-r{r}")
+
+    # -- operand capture & unpacking ------------------------------------
+    net.stage("input-regs", [register("in_regs", 2 * word, activity=0.35)])
+    unpack = [control("unpack", 6.0)]
+    if sub:
+        unpack += [
+            or_tree("subn_detect_x", E),
+            or_tree("subn_detect_y", E),
+            mux_bus("implicit_sel", 2, activity=0.2),
+            control("subn_ctl", 4.0),
+        ]
+    net.stage("unpack", unpack)
+
+    # -- (i) exponent difference, compare, swap --------------------------
+    net.stage("exp-diff", [
+        exp_adder("exp_sub", E, subtract=True),
+        comparator("mag_cmp", p),
+        mux_bus("swap_x", word), mux_bus("swap_y", word),
+    ])
+
+    # -- (ii) alignment ---------------------------------------------------
+    if rounding == "rn":
+        align = [barrel_shifter("align_shift", core_width, core_width),
+                 or_tree("sticky", p + 1)]
+    elif rounding == "sr_lazy":
+        align = _extended_shifter("align_shift", core_width, p + r, p + r)
+    else:  # sr_eager: core shifter + deep-bit tap network
+        align = [barrel_shifter("align_shift", core_width, core_width),
+                 mux_bus("deep_tap", max(1, r - 2), activity=0.25)]
+    net.stage("align", align)
+
+    # -- (iii) significand addition ---------------------------------------
+    if rounding == "sr_lazy":
+        ext = _carry_extension("sig_add_ext", (p + r) - core_width)
+        if ext is not None:
+            net.stage("add-ext", [ext])
+    add_stage = [ripple_adder("sig_add", core_width, subtract=True)]
+    if rounding == "sr_eager":
+        # Sticky Round: the r-2 random LSBs join the deep fraction bits;
+        # only the carry/top bits survive, so a carry unit suffices.  It
+        # is strictly shorter than the main addition -> same stage,
+        # parallel.
+        add_stage.append(carry_unit("sticky_round", max(2, r - 2)))
+    net.stage("add", add_stage)
+
+    # -- (iv) LZD + normalization ----------------------------------------
+    norm_width = p + r if rounding == "sr_lazy" else p + 2
+    norm_ctl = [control("norm_ctl", 3.0)]
+    if sub:
+        norm_ctl.append(comparator("underflow_clamp", E))
+    net.stage("lzd", [lzd("lzd", norm_width)] + norm_ctl)
+    norm = _extended_shifter("norm_shift", min(norm_width, core_width),
+                             norm_width, norm_width)
+    norm.append(mux_bus("carry_realign", min(norm_width, core_width)))
+    net.stage("normalize", norm)
+
+    # -- (v) rounding ------------------------------------------------------
+    if rounding == "rn":
+        net.stage("round-decision", [control("rn_decision", 3.0)])
+    elif rounding == "sr_lazy":
+        net.stage("round-decision", [carry_unit("sr_carry", r)])
+        net.off_path("sr-staging", [random_staging("rand_stage", r)])
+    else:
+        net.stage("round-decision", [
+            carry_unit("round_correction", 3),
+            mux_bus("g_substitution", 1, activity=0.25),
+        ])
+        net.off_path("sr-staging", [random_staging("rand_stage", r)])
+    net.stage("round-inc", [incrementer("round_inc", p)])
+
+    # -- result packing ----------------------------------------------------
+    pack = [
+        incrementer("exp_update", E, tau_per_bit=0.5),
+        mux_bus("result_sel", word),
+        control("exceptions", 6.0),
+    ]
+    if sub:
+        pack.append(control("flush_ctl", 3.0))
+    net.stage("pack", pack)
+    net.stage("output-reg", [register("out_reg", word, activity=0.45)])
+    return net
+
+
+def build_multiplier_netlist(config: MACConfig) -> Netlist:
+    """Exact multiplier netlist (Sec. III a): pm x pm array, no rounding."""
+    mul_fmt = config.multiplier_format
+    pm = mul_fmt.precision
+    Em = mul_fmt.exponent_bits
+    net = Netlist(f"mul-E{Em}M{mul_fmt.mantissa_bits}")
+    unpack = [control("mul_unpack", 4.0)]
+    if config.subnormals:
+        unpack.append(control("mul_subn", 3.0))
+    net.stage("mul-unpack", unpack)
+    net.stage("mul-core", [
+        array_multiplier("sig_mul", pm),
+        exp_adder("exp_add", Em + 1),
+    ])
+    net.stage("mul-pack", [control("mul_pack", 4.0)])
+    return net
+
+
+def build_mac_netlist(config: MACConfig) -> Netlist:
+    """Full MAC unit (Fig. 2): multiplier + adder + PRNG + accumulator."""
+    net = build_multiplier_netlist(config).merge(build_adder_netlist(config))
+    net.name = f"mac-{config.label}-r{config.rbits}"
+    if config.rounding != "rn":
+        # The LFSR runs in parallel and asynchronously with the multiplier.
+        net.off_path("prng", [lfsr("galois_lfsr", config.rbits)])
+    word = 1 + config.exponent_bits + config.mantissa_bits
+    net.stage("accumulator", [register("acc_reg", word, activity=0.55)])
+    return net

@@ -1,0 +1,100 @@
+"""Shared scalar floating-point operand machinery for the RTL models.
+
+The behavioral adder/multiplier models in this package operate on
+``(sign, exponent, significand)`` triples with integer significands,
+mirroring what the RTL datapath registers hold.  This module provides
+unpacking from float64 (with the format's subnormal policy applied),
+packing back with overflow/underflow handling, and the special-value
+lattice (NaN/inf/zero) shared by every unit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..fp.formats import FPFormat
+
+
+@dataclass(frozen=True)
+class Operand:
+    """An unpacked finite nonzero operand: ``value = sign * sig * 2**(exp - M)``.
+
+    ``sig`` is an integer in ``[2**M, 2**(M+1))`` for normal values, or in
+    ``[1, 2**M)`` with ``exp == emin`` for subnormals.
+    """
+
+    sign: int  # +1 or -1
+    exp: int
+    sig: int
+
+    def magnitude_key(self):
+        """Sort key: larger key <=> larger magnitude (valid per fpcore docs)."""
+        return (self.exp, self.sig)
+
+
+class SpecialValue(Exception):
+    """Internal control-flow marker carrying an early special-case result."""
+
+    def __init__(self, value: float):
+        self.value = value
+        super().__init__(value)
+
+
+def unpack(value: float, fmt: FPFormat) -> Optional[Operand]:
+    """Unpack a representable float into an :class:`Operand`.
+
+    Returns ``None`` for zero.  Raises :class:`SpecialValue` for NaN and
+    infinities.  Subnormal-range inputs are flushed to zero when the format
+    lacks subnormal support (paper footnote 3: "values in the subnormal
+    range are treated as zero").  Raises ``ValueError`` for finite values
+    not representable in ``fmt`` — the RTL models insist on bit-clean
+    inputs.
+    """
+    if value != value or value in (float("inf"), float("-inf")):
+        raise SpecialValue(value)
+    if value == 0.0:
+        return None
+    sign = -1 if value < 0 else 1
+    magnitude = abs(value)
+    if magnitude < fmt.min_normal:
+        if not fmt.subnormals:
+            return None  # flushed to zero
+        scaled = magnitude / (2.0 ** (fmt.emin - fmt.mantissa_bits))
+        sig = int(scaled)
+        if sig != scaled:
+            raise ValueError(f"{value!r} not representable in {fmt.name}")
+        return Operand(sign, fmt.emin, sig)
+    mantissa, exp2 = math.frexp(magnitude)
+    exp = exp2 - 1
+    if exp > fmt.emax:
+        raise ValueError(f"{value!r} overflows {fmt.name}")
+    scaled = magnitude / (2.0 ** (exp - fmt.mantissa_bits))
+    sig = int(scaled)
+    if sig != scaled:
+        raise ValueError(f"{value!r} not representable in {fmt.name}")
+    return Operand(sign, exp, sig)
+
+
+def pack(sign: int, exp: int, sig: int, fmt: FPFormat) -> float:
+    """Pack a rounded ``(sign, exp, sig)`` into a float with format policies.
+
+    Handles significand overflow (carry out of rounding), exponent
+    overflow to infinity, and flush-to-zero for formats without subnormal
+    support.  ``sig`` may be denormal (``< 2**M``) only when
+    ``exp == emin``.
+    """
+    if sig == 0:
+        return sign * 0.0
+    if sig >= (1 << fmt.precision):
+        sig >>= 1
+        exp += 1
+    if exp > fmt.emax:
+        return sign * float("inf")
+    if sig < (1 << fmt.mantissa_bits):
+        if exp != fmt.emin:
+            raise AssertionError("denormal significand with exp != emin")
+        if not fmt.subnormals:
+            return sign * 0.0
+    return sign * sig * 2.0 ** (exp - fmt.mantissa_bits)

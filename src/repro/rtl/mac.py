@@ -1,0 +1,147 @@
+"""The assembled MAC unit: exact multiplier + SR/RN adder + LFSR (Fig. 2).
+
+``MACConfig`` is the single description of a MAC/adder variant used across
+the repository: the behavioral unit here, the netlist builders in
+:mod:`repro.rtl.designs`, the synthesis experiments, and the training
+emulation all consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from ..fp.formats import FP8_E5M2, FPFormat
+from ..prng.lfsr import GaloisLFSR
+from .adder_base import AdderResult, FPAdderBase
+from .adder_rn import FPAdderRN
+from .adder_sr_eager import FPAdderSREager
+from .adder_sr_lazy import FPAdderSRLazy
+from .multiplier import ExactMultiplier
+
+#: rounding architecture labels used by Table I / Fig. 5
+ROUNDINGS = ("rn", "sr_lazy", "sr_eager")
+
+
+@dataclass(frozen=True)
+class MACConfig:
+    """One MAC/adder configuration row of the paper's evaluation.
+
+    Parameters mirror the tables: accumulator format ``(E, M)``, rounding
+    architecture, subnormal support, and the number of random bits ``r``
+    (ignored for RN).  The paper's default for SR designs is ``r = p + 3``
+    to "align with the IEEE-754 definition of RN" (Sec. III-C2).
+    """
+
+    exponent_bits: int
+    mantissa_bits: int
+    rounding: str = "rn"
+    subnormals: bool = True
+    rbits: int = 0
+    multiplier_format: FPFormat = field(default=FP8_E5M2)
+
+    def __post_init__(self):
+        if self.rounding not in ROUNDINGS:
+            raise ValueError(f"unknown rounding {self.rounding!r}")
+        if self.rounding != "rn" and self.rbits < 3:
+            raise ValueError("SR configurations require rbits >= 3")
+
+    @property
+    def accumulator_format(self) -> FPFormat:
+        return FPFormat(
+            self.exponent_bits, self.mantissa_bits, subnormals=self.subnormals
+        )
+
+    @property
+    def precision(self) -> int:
+        return self.mantissa_bits + 1
+
+    @classmethod
+    def paper_default(cls, fmt: FPFormat, rounding: str = "sr_eager",
+                      subnormals: Optional[bool] = None,
+                      rbits: Optional[int] = None) -> "MACConfig":
+        """A configuration with the paper's default ``r = p + 3``."""
+        if subnormals is None:
+            subnormals = fmt.subnormals
+        if rbits is None:
+            rbits = 0 if rounding == "rn" else fmt.mantissa_bits + 4  # p + 3
+        return cls(fmt.exponent_bits, fmt.mantissa_bits, rounding,
+                   subnormals, rbits)
+
+    @property
+    def label(self) -> str:
+        names = {"rn": "RN", "sr_lazy": "SR lazy", "sr_eager": "SR eager"}
+        sub = "W/ Sub" if self.subnormals else "W/O Sub"
+        return f"{names[self.rounding]} {sub} E{self.exponent_bits}M{self.mantissa_bits}"
+
+
+def build_adder(config: MACConfig) -> FPAdderBase:
+    """Instantiate the behavioral adder described by ``config``."""
+    fmt = config.accumulator_format
+    if config.rounding == "rn":
+        return FPAdderRN(fmt)
+    if config.rounding == "sr_lazy":
+        return FPAdderSRLazy(fmt, config.rbits)
+    return FPAdderSREager(fmt, config.rbits)
+
+
+class MACUnit:
+    """Cycle-level behavioral model of the full MAC unit.
+
+    The multiplier result is exact; rounding happens only in the adder
+    (Fig. 2).  The ``r``-bit Galois LFSR advances once per accumulation,
+    modeling the PRNG that "operates in parallel and asynchronously with
+    the multiplier".
+    """
+
+    def __init__(self, config: MACConfig, seed: Optional[int] = None):
+        self.config = config
+        self.multiplier = ExactMultiplier(config.multiplier_format)
+        product_fmt = self.multiplier.output_format
+        acc_fmt = config.accumulator_format
+        if (product_fmt.exponent_bits > acc_fmt.exponent_bits
+                or product_fmt.mantissa_bits > acc_fmt.mantissa_bits):
+            raise ValueError(
+                f"accumulator {acc_fmt.name} cannot hold exact "
+                f"{product_fmt.name} products"
+            )
+        self.adder = build_adder(config)
+        self.lfsr = (
+            GaloisLFSR(config.rbits, seed=seed) if config.rbits >= 3 else None
+        )
+        self.accumulator = 0.0
+
+    def reset(self, value: float = 0.0) -> None:
+        self.accumulator = value
+
+    def step(self, a: float, b: float) -> AdderResult:
+        """One MAC cycle: ``acc <- round(acc + a * b)``."""
+        product = self.multiplier.multiply(a, b)
+        draw = self.lfsr.next_value() if self.lfsr is not None else 0
+        result = self.adder.add(self.accumulator, product, random_int=draw)
+        self.accumulator = result.value
+        return result
+
+    def dot(self, xs: Iterable[float], ws: Iterable[float]) -> float:
+        """Sequential dot product, the GEMM inner loop of Sec. IV."""
+        self.reset()
+        for a, b in zip(xs, ws):
+            self.step(a, b)
+        return self.accumulator
+
+
+def paper_table1_configs() -> List[MACConfig]:
+    """The 24 configurations of Table I, in row order.
+
+    Three rounding groups x with/without subnormals x four accumulator
+    formats; SR rows use ``r = p + 3`` (27, 14, 11, 9).
+    """
+    formats = [(8, 23), (5, 10), (8, 7), (6, 5)]
+    configs = []
+    for rounding in ROUNDINGS:
+        for subnormals in (True, False):
+            for exp_bits, man_bits in formats:
+                rbits = 0 if rounding == "rn" else man_bits + 4
+                configs.append(MACConfig(exp_bits, man_bits, rounding,
+                                         subnormals, rbits))
+    return configs

@@ -1,0 +1,177 @@
+"""Systolic-array accelerator built from the paper's MAC units.
+
+The paper's conclusion points to "a systolic array-based accelerator" as
+the place where the eager design's advantages compound — this module
+implements that extension: an output-stationary ``rows x cols`` array of
+MAC units with per-lane LFSR random streams, both as
+
+* a **behavioral model** (:class:`SystolicArray`) computing tiled matrix
+  products bit-accurately through the GEMM emulation, one LFSR lane per
+  processing element, and
+* a **cost model** (:func:`build_systolic_netlist`) that instantiates one
+  MAC netlist per PE plus the array-level plumbing (operand skew
+  registers, accumulator drains, a shared PRNG bank column), so the
+  eager-vs-lazy comparison can be made at accelerator scale
+  (:func:`array_comparison`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..emu.config import GemmConfig
+from ..emu.gemm import matmul
+from ..fp.formats import FPFormat
+from ..prng.streams import LFSRStream, SoftwareStream
+from .components import control, register
+from .designs import build_mac_netlist
+from .mac import MACConfig
+from .netlist import Netlist
+
+
+@dataclass(frozen=True)
+class SystolicConfig:
+    """An output-stationary systolic array of identical MAC units."""
+
+    rows: int = 8
+    cols: int = 8
+    mac: MACConfig = None
+
+    def __post_init__(self):
+        if self.mac is None:
+            object.__setattr__(
+                self, "mac", MACConfig(6, 5, "sr_eager", False, 9))
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("array dimensions must be positive")
+
+    @property
+    def pe_count(self) -> int:
+        return self.rows * self.cols
+
+
+class SystolicArray:
+    """Behavioral tiled GEMM on the array.
+
+    Output-stationary dataflow: each processing element accumulates one
+    output element of the current ``rows x cols`` tile over the full
+    reduction dimension, rounding each step exactly like its hardware MAC
+    (the per-PE randomness comes from a dedicated LFSR lane of width
+    ``r``, mirroring one PRNG per PE).
+    """
+
+    def __init__(self, config: SystolicConfig, seed: int = 1,
+                 hardware_prng: bool = True):
+        self.config = config
+        mac = config.mac
+        acc_fmt = FPFormat(mac.exponent_bits, mac.mantissa_bits,
+                           subnormals=mac.subnormals)
+        if mac.rounding == "rn":
+            self.gemm_config = GemmConfig(
+                mul_format=mac.multiplier_format, acc_format=acc_fmt,
+                rounding="nearest",
+            )
+        else:
+            stream = (LFSRStream(lanes=config.pe_count, seed=seed)
+                      if hardware_prng else SoftwareStream(seed))
+            self.gemm_config = GemmConfig(
+                mul_format=mac.multiplier_format, acc_format=acc_fmt,
+                rounding="stochastic", rbits=mac.rbits, stream=stream,
+            )
+        self.cycles = 0
+        self.tiles = 0
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Tiled ``a @ b`` with cycle accounting.
+
+        Tiles the ``(M, K) x (K, N)`` product into ``rows x cols`` output
+        blocks; each tile costs ``K + rows + cols`` cycles (fill + drain)
+        in the output-stationary schedule.
+        """
+        a = np.asarray(a, np.float64)
+        b = np.asarray(b, np.float64)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ValueError(f"bad GEMM shapes {a.shape} x {b.shape}")
+        m, k = a.shape
+        n = b.shape[1]
+        rows, cols = self.config.rows, self.config.cols
+        out = np.empty((m, n), dtype=np.float64)
+        for i0 in range(0, m, rows):
+            for j0 in range(0, n, cols):
+                tile_a = a[i0:i0 + rows]
+                tile_b = b[:, j0:j0 + cols]
+                out[i0:i0 + rows, j0:j0 + cols] = matmul(
+                    tile_a, tile_b, self.gemm_config)
+                self.cycles += k + rows + cols
+                self.tiles += 1
+        return out
+
+    @property
+    def macs_per_cycle(self) -> float:
+        """Peak MAC throughput of the array."""
+        return float(self.config.pe_count)
+
+
+def build_systolic_netlist(config: SystolicConfig) -> Netlist:
+    """Structural netlist of the whole array.
+
+    One MAC netlist per PE; operand skew/pipeline registers along the two
+    injection edges; an accumulator drain bus; one LFSR per PE is already
+    inside each MAC netlist (SR configs), matching the "operates in
+    parallel and asynchronously" PRNG of Fig. 2.
+    """
+    mac_net = build_mac_netlist(config.mac)
+    word = 1 + config.mac.exponent_bits + config.mac.mantissa_bits
+    mul_word = config.mac.multiplier_format.total_bits
+
+    net = Netlist(f"systolic-{config.rows}x{config.cols}-{config.mac.label}")
+    pe_area = mac_net.area_ge * config.pe_count
+    # Represent the PE grid as one scaled pseudo-component per stage so
+    # the report stays readable while the totals are exact.
+    for stage_name, comps in mac_net.stages:
+        scaled = [c.scaled(config.pe_count, name=f"{c.name}[x{config.pe_count}]")
+                  for c in comps]
+        if "off-path" in stage_name:
+            net.off_path(stage_name.replace(" (off-path)", ""), scaled)
+        else:
+            net.stage(stage_name, scaled)
+    # Array plumbing: skew registers on both edges + drain mux/control.
+    net.off_path("edge-skew", [
+        register("a_skew", mul_word * config.rows * 2, activity=0.4),
+        register("b_skew", mul_word * config.cols * 2, activity=0.4),
+    ])
+    net.off_path("drain", [
+        register("drain_regs", word * config.cols, activity=0.3),
+        control("array_ctl", 8.0 + config.rows + config.cols),
+    ])
+    assert net.area_ge >= pe_area
+    return net
+
+
+def array_comparison(rows: int = 8, cols: int = 8,
+                     rbits: int = 9) -> Dict[str, Dict[str, float]]:
+    """Eager vs lazy vs RN at accelerator scale (calibrated ASIC model).
+
+    Returns per-design area/delay/energy of the full array plus the
+    throughput-normalized figure of merit (area x delay per MAC), showing
+    how the per-unit savings compound across the PE grid.
+    """
+    from ..synth import calibrated_asic_tech
+
+    tech = calibrated_asic_tech()
+    results: Dict[str, Dict[str, float]] = {}
+    for rounding in ("rn", "sr_lazy", "sr_eager"):
+        mac = MACConfig(6, 5, rounding, False,
+                        0 if rounding == "rn" else rbits)
+        config = SystolicConfig(rows, cols, mac)
+        report = tech.synthesize(build_systolic_netlist(config))
+        results[rounding] = {
+            "area_um2": report.area_um2,
+            "delay_ns": report.delay_ns,
+            "energy_nw_mhz": report.energy_nw_mhz,
+            "area_delay_per_mac": report.area_um2 * report.delay_ns
+                                  / (rows * cols),
+        }
+    return results

@@ -1,0 +1,16 @@
+"""Synthesis substitutes: ASIC and FPGA technology cost models."""
+
+from .asic import AsicTech, SynthReport
+from .calibration import calibrated_asic_tech, calibrated_fpga_tech, config_from_key
+from .fpga import FpgaReport, FpgaTech, component_luts
+
+__all__ = [
+    "AsicTech",
+    "SynthReport",
+    "FpgaTech",
+    "FpgaReport",
+    "component_luts",
+    "calibrated_asic_tech",
+    "calibrated_fpga_tech",
+    "config_from_key",
+]

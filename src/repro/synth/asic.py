@@ -1,0 +1,74 @@
+"""ASIC technology model: netlist costs -> µm² / ns / nW/MHz.
+
+This stands in for the paper's Synopsys Design Vision + FDSOI 28nm flow.
+Three global scale factors map the netlist's technology-independent
+numbers (gate-equivalent area, logic depth in tau, switched-capacitance
+weight) to physical units.  The factors are calibrated on a *single*
+published anchor row (FP32 RN with subnormals, Table I); every other row
+is then a prediction of the structural model — see
+:mod:`repro.synth.calibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rtl.netlist import Netlist
+
+
+@dataclass
+class SynthReport:
+    """One synthesis result row, in the paper's units."""
+
+    name: str
+    area_um2: float
+    delay_ns: float
+    energy_nw_mhz: float
+    area_ge: float = 0.0
+    depth_tau: float = 0.0
+
+    def as_tuple(self):
+        return (self.energy_nw_mhz, self.area_um2, self.delay_ns)
+
+
+@dataclass
+class AsicTech:
+    """Technology scale factors (defaults: 28nm-class, pre-calibration).
+
+    ``area_um2_per_ge``: layout area of one NAND2-equivalent including
+    routing overhead; ``ns_per_tau``: one normalized gate delay under
+    relaxed timing constraints; ``nw_mhz_per_weight``: dynamic power per
+    unit of switched-capacitance weight (area x activity) per MHz.
+    """
+
+    name: str = "fdsoi28-model"
+    area_um2_per_ge: float = 0.60
+    ns_per_tau: float = 0.040
+    nw_mhz_per_weight: float = 0.0015
+
+    def synthesize(self, netlist: Netlist) -> SynthReport:
+        """Cost a netlist in physical units."""
+        area_ge = netlist.area_ge
+        depth = netlist.delay_tau
+        weight = netlist.energy_weight
+        return SynthReport(
+            name=netlist.name,
+            area_um2=area_ge * self.area_um2_per_ge,
+            delay_ns=depth * self.ns_per_tau,
+            energy_nw_mhz=weight * self.nw_mhz_per_weight,
+            area_ge=area_ge,
+            depth_tau=depth,
+        )
+
+    def calibrated(self, netlist: Netlist, area_um2: float, delay_ns: float,
+                   energy_nw_mhz: float) -> "AsicTech":
+        """A copy whose scales make ``netlist`` hit the given targets."""
+        area_ge = netlist.area_ge
+        depth = netlist.delay_tau
+        weight = netlist.energy_weight
+        return AsicTech(
+            name=self.name + "-calibrated",
+            area_um2_per_ge=area_um2 / area_ge,
+            ns_per_tau=delay_ns / depth,
+            nw_mhz_per_weight=energy_nw_mhz / weight,
+        )

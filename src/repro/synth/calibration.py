@@ -1,0 +1,52 @@
+"""Calibration of the technology models against published anchor rows.
+
+The reproduction philosophy (DESIGN.md Sec. 2): the structural netlists
+are technology-independent; exactly one published row per technology is
+used to fix the global unit scales, and every other row of Tables I/II/V
+and Fig. 5 is then a *prediction* whose agreement with the paper is
+reported in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..experiments import records
+from ..rtl.designs import build_adder_netlist
+from ..rtl.mac import MACConfig
+from .asic import AsicTech
+from .fpga import FpgaTech
+
+
+def config_from_key(key: records.ConfigKey) -> MACConfig:
+    """Build the MACConfig matching a published-row key."""
+    rounding, subnormals, e_bits, m_bits, rbits = key
+    return MACConfig(e_bits, m_bits, rounding, subnormals, rbits)
+
+
+@lru_cache(maxsize=1)
+def calibrated_asic_tech() -> AsicTech:
+    """ASIC tech calibrated on the Table I anchor (FP32 RN w/ sub)."""
+    anchor_key = records.TABLE1_ANCHOR
+    anchor_row = records.TABLE1[anchor_key]
+    netlist = build_adder_netlist(config_from_key(anchor_key))
+    return AsicTech().calibrated(
+        netlist,
+        area_um2=anchor_row.area_um2,
+        delay_ns=anchor_row.delay_ns,
+        energy_nw_mhz=anchor_row.energy_nw_mhz,
+    )
+
+
+@lru_cache(maxsize=1)
+def calibrated_fpga_tech() -> FpgaTech:
+    """FPGA tech calibrated on the Table II anchor (FP16 RN w/ sub)."""
+    anchor_key = records.TABLE2_ANCHOR
+    anchor_row = records.TABLE2[anchor_key]
+    netlist = build_adder_netlist(config_from_key(anchor_key))
+    return FpgaTech().calibrated(
+        netlist,
+        luts=anchor_row.luts,
+        ffs=anchor_row.ffs,
+        delay_ns=anchor_row.delay_ns,
+    )

@@ -1,0 +1,90 @@
+"""Error-analysis tests: the statistical claims behind Sec. II."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bias_estimate,
+    error_growth_curve,
+    growth_exponent,
+    rbits_bias_curve,
+    stagnation_curve,
+    stagnation_threshold,
+    variance_reduction_over_algorithms,
+)
+from repro.fp.formats import FP12_E6M5, FP16
+from repro.fp.summation import RoundingPolicy
+
+
+class TestStagnation:
+    def test_threshold_formula(self):
+        fmt = FP12_E6M5
+        term = 0.25
+        # acc > term * 2^p: increments below half-ulp are dropped
+        assert stagnation_threshold(fmt, term) == term * 2 ** 6
+
+    def test_rn_curve_plateaus_at_threshold(self):
+        fmt = FP12_E6M5
+        term = 1.0 / 64
+        curve = stagnation_curve(fmt, term, steps=4000,
+                                 policy=RoundingPolicy.rn(fmt))
+        threshold = stagnation_threshold(fmt, term)
+        assert curve[-1] == curve[-2]  # flat at the end
+        assert curve[-1] <= threshold * 1.01
+        assert curve[-1] >= threshold * 0.45  # reached the plateau region
+
+    def test_sr_curve_does_not_plateau(self):
+        fmt = FP12_E6M5
+        term = 1.0 / 64
+        curve = stagnation_curve(fmt, term, steps=4000,
+                                 policy=RoundingPolicy.sr(fmt, 13, seed=2))
+        exact = 4000 * term
+        assert curve[-1] > 0.7 * exact
+
+
+class TestErrorGrowth:
+    @pytest.fixture(scope="class")
+    def curves(self):
+        return error_growth_curve(FP12_E6M5, sizes=[64, 256, 1024, 4096],
+                                  rbits=13, trials=4, seed=1)
+
+    def test_sr_beats_rn_at_scale(self, curves):
+        rn_final = curves["rn"][-1].relative_error
+        sr_final = curves["sr"][-1].relative_error
+        assert sr_final < rn_final / 3
+
+    def test_rn_error_grows_faster(self, curves):
+        rn_slope = growth_exponent(curves["rn"])
+        sr_slope = growth_exponent(curves["sr"])
+        assert rn_slope > sr_slope
+
+    def test_sr_growth_is_sublinear(self, curves):
+        # Probabilistic analysis: SR forward error ~ sqrt(n) * u, so the
+        # *relative* error slope vs n should be well below 1.
+        assert growth_exponent(curves["sr"]) < 0.75
+
+
+class TestBias:
+    def test_sr_unbiased_with_large_r(self):
+        fmt = FP12_E6M5
+        value = 1.0 + fmt.machine_eps / 3
+        bias = bias_estimate(fmt, value, rbits=13, trials=8000, seed=0)
+        assert abs(bias) < fmt.machine_eps / 25
+
+    def test_small_r_truncation_bias(self):
+        """The Table III mechanism, measured: once eps_x < 2^-r the
+        rounding degenerates to truncation with bias -eps_x * ulp."""
+        fmt = FP12_E6M5
+        value = 1.0 + fmt.machine_eps / 64  # eps_x = 1/64
+        biases = rbits_bias_curve(fmt, value, rbits_values=[4, 9, 13],
+                                  trials=4000, seed=0)
+        assert biases[4] == pytest.approx(-fmt.machine_eps / 64, rel=1e-9)
+        assert abs(biases[13]) < fmt.machine_eps / 64
+
+
+class TestVarianceByAlgorithm:
+    def test_short_chains_reduce_sr_variance(self):
+        stds = variance_reduction_over_algorithms(FP16, n=512, rbits=11,
+                                                  trials=10, seed=3)
+        assert set(stds) == {"recursive", "pairwise", "blocked", "kahan"}
+        assert stds["pairwise"] <= stds["recursive"]

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.fp.formats import FP8_E4M3, FP8_E5M2, FP12_E6M5, FP16, FP32, FPFormat
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=["E6M5", "E6M5-fz", "FP16", "E4M3"])
+def any_format(request):
+    return {
+        "E6M5": FP12_E6M5,
+        "E6M5-fz": FP12_E6M5.with_subnormals(False),
+        "FP16": FP16,
+        "E4M3": FP8_E4M3,
+    }[request.param]
+
+
+@pytest.fixture
+def small_format():
+    """A format small enough for exhaustive enumeration."""
+    return FPFormat(4, 3)
+
+
+@pytest.fixture
+def small_format_fz():
+    return FPFormat(4, 3, subnormals=False)

@@ -1,0 +1,155 @@
+"""Experiment harness tests (hardware instant, training at tiny scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import records
+from repro.experiments.hardware import (
+    format_fig5,
+    format_table1,
+    format_table2,
+    format_table5,
+    headline_savings,
+    run_fig5,
+    run_table1,
+    run_table2,
+    run_table5,
+)
+from repro.experiments.validation import validate_eager_sr
+
+
+class TestRecords:
+    def test_table1_complete(self):
+        assert len(records.TABLE1) == 24
+        assert records.TABLE1_ANCHOR in records.TABLE1
+
+    def test_table3_rows(self):
+        assert len(records.TABLE3) == 10
+        baseline = records.TABLE3[0]
+        assert baseline[1] == "baseline" and baseline[-1] == 91.47
+
+    def test_table5_r_values(self):
+        assert sorted(records.TABLE5_SR_EAGER) == [4, 7, 9, 11, 13]
+
+
+class TestTable1:
+    def test_rows_and_paper_refs(self):
+        rows = run_table1()
+        assert len(rows) == 24
+        assert all(r.paper is not None for r in rows)
+
+    def test_anchor_matches_exactly(self):
+        rows = run_table1()
+        anchor = next(r for r in rows if r.key == records.TABLE1_ANCHOR)
+        assert anchor.area_um2 == pytest.approx(anchor.paper.area_um2)
+
+    def test_formatting(self):
+        text = format_table1(run_table1())
+        assert "SR eager" in text and "E8M23" not in text.split("\n")[0][:10]
+
+    def test_mac_level_rows_larger(self):
+        adder_rows = {r.key: r for r in run_table1()}
+        mac_rows = {r.key: r for r in run_table1(mac_level=True)}
+        for key in adder_rows:
+            assert mac_rows[key].area_um2 > adder_rows[key].area_um2
+
+
+class TestTable2:
+    def test_eager_fewer_luts_than_lazy(self):
+        rows = {(r.config.rounding): r for r in run_table2()}
+        assert rows["sr_eager"].luts < rows["sr_lazy"].luts
+
+    def test_formatting(self):
+        assert "LUT" in format_table2(run_table2())
+
+
+class TestTable5:
+    def test_area_increases_with_r(self):
+        rows = [r for r in run_table5() if r.label.startswith("SR")]
+        areas = [r.area_um2 for r in rows]
+        assert areas == sorted(areas)
+
+    def test_all_sr_rows_beat_fp16_reference(self):
+        rows = run_table5()
+        fp16 = next(r for r in rows if "E5M10" in r.label)
+        for row in rows:
+            if row.label.startswith("SR"):
+                assert row.area_um2 < fp16.area_um2
+                assert row.delay_ns < fp16.delay_ns
+
+    def test_formatting(self):
+        assert "Delay" in format_table5(run_table5())
+
+
+class TestFig5:
+    def test_series_complete(self):
+        series = run_fig5()
+        assert set(series) == {"area_um2", "delay_ns", "energy_nw_mhz"}
+        for groups in series.values():
+            assert len(groups) == 6  # 3 roundings x sub on/off
+            for values in groups.values():
+                assert len(values) == 4  # four formats
+
+    def test_eager_below_lazy_in_every_series(self):
+        series = run_fig5()
+        for metric, groups in series.items():
+            for sub in ("Sub ON", "Sub OFF"):
+                lazy = groups[f"SR lazy, {sub}"]
+                eager = groups[f"SR eager, {sub}"]
+                assert all(e < l for e, l in zip(eager, lazy)), metric
+
+    def test_formatting(self):
+        assert "E6M5" in format_fig5(run_fig5())
+
+
+class TestHeadlineSavings:
+    def test_matches_paper_claims_loosely(self):
+        savings = headline_savings()
+        claimed = records.CLAIMED_SAVINGS
+        # ~50% vs FP32 on every metric (paper: "by about 50%")
+        for metric in ("delay", "area", "energy"):
+            assert savings["vs_fp32"][metric] > 0.38
+        # positive savings vs FP16 RN
+        assert savings["vs_fp16"]["delay"] > 0.15
+        assert savings["vs_fp16"]["area"] > 0.08
+        # eager vs lazy peak savings in the claimed ballpark
+        assert savings["eager_vs_lazy_max"]["delay"] > 0.12
+        assert savings["eager_vs_lazy_max"]["area"] > 0.10
+        assert claimed["eager_vs_lazy_max"]["delay"] == 0.266
+
+
+class TestValidationExperiment:
+    def test_small_validation_passes(self):
+        report = validate_eager_sr(pair_stride=16, rbits=5)
+        assert report.passed, report.summary()
+        assert report.pairs_tested > 100
+        assert len(report.traces_covered) >= 4
+
+    def test_summary_text(self):
+        report = validate_eager_sr(pair_stride=24, rbits=4)
+        assert "PASS" in report.summary()
+
+
+class TestTrainingTinyScale:
+    def test_train_once_runs(self):
+        from repro.data import make_cifar10_like
+        from repro.emu import GemmConfig
+        from repro.experiments.training import SCALES, train_once
+
+        scale = SCALES["tiny"]
+        ds = make_cifar10_like(120, 60, scale.image_size, seed=0)
+        baseline = train_once(ds, scale, None, seed=1)
+        assert 0.0 <= baseline <= 100.0
+        quantized = train_once(ds, scale, GemmConfig.sr(11, seed=1), seed=1)
+        assert 0.0 <= quantized <= 100.0
+
+    def test_gemm_config_factory_rejects_unknown(self):
+        from repro.experiments.training import _gemm_config_for
+
+        with pytest.raises(ValueError):
+            _gemm_config_for("bogus", 6, 5, True, None, 0)
+
+    def test_scales_defined(self):
+        from repro.experiments.training import SCALES
+
+        assert {"tiny", "small", "medium"} <= set(SCALES)

@@ -1,0 +1,35 @@
+"""CLI runner tests (fast experiments only)."""
+
+import pytest
+
+from repro.experiments.runner import ALL, main, run_experiment
+
+
+class TestRunnerCli:
+    def test_hardware_experiments_via_main(self, capsys):
+        assert main(["table2", "table5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "Table V" in out
+        assert "(paper)" in out
+
+    def test_fig5_and_validation(self, capsys):
+        run_experiment("fig5", "tiny")
+        run_experiment("validation", "tiny")
+        out = capsys.readouterr().out
+        assert "area_um2" in out
+        assert "PASS" in out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(SystemExit):
+            run_experiment("table9", "tiny")
+
+    def test_all_list_covers_every_artifact(self):
+        assert set(ALL) == {"table1", "table2", "table3", "table4",
+                            "table5", "fig5", "validation"}
+
+    def test_table1_headline_output(self, capsys):
+        run_experiment("table1", "tiny")
+        out = capsys.readouterr().out
+        assert "headline savings" in out
+        assert "vs_fp32" in out

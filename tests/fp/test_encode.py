@@ -1,0 +1,104 @@
+"""Bit-pattern encode/decode tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.fp.encode import (
+    all_finite_values,
+    decode,
+    decode_one,
+    encode,
+    encode_one,
+    split_fields,
+)
+from repro.fp.formats import FP8_E4M3, FP8_E5M2, FP12_E6M5, FP16, FPFormat
+
+
+class TestRoundTrip:
+    def test_all_patterns_roundtrip_e4m3(self):
+        fmt = FP8_E4M3
+        for bits in range(1 << fmt.total_bits):
+            value = decode_one(bits, fmt)
+            if value != value:  # NaN patterns are many-to-one
+                continue
+            assert encode_one(value, fmt) == bits or value == 0.0
+
+    def test_all_values_roundtrip(self, small_format):
+        for value in all_finite_values(small_format):
+            assert decode_one(encode_one(float(value), small_format),
+                              small_format) == value
+
+    def test_vectorized_matches_scalar(self, rng):
+        fmt = FP12_E6M5
+        values = all_finite_values(fmt)
+        picks = rng.choice(values, size=64)
+        bits = encode(picks, fmt)
+        assert np.array_equal(decode(bits, fmt), picks)
+
+
+class TestSpecialPatterns:
+    def test_zero_patterns(self):
+        fmt = FP16
+        assert encode_one(0.0, fmt) == 0
+        assert encode_one(-0.0, fmt) == 1 << 15
+        assert decode_one(0, fmt) == 0.0
+
+    def test_infinity_patterns(self):
+        fmt = FP16
+        inf_bits = encode_one(float("inf"), fmt)
+        sign, exp_field, frac = split_fields(inf_bits, fmt)
+        assert exp_field == 31 and frac == 0 and sign == 0
+        assert decode_one(inf_bits, fmt) == float("inf")
+
+    def test_nan_pattern(self):
+        fmt = FP16
+        nan_bits = encode_one(float("nan"), fmt)
+        value = decode_one(nan_bits, fmt)
+        assert value != value
+
+    def test_subnormal_encoding(self):
+        fmt = FP8_E5M2
+        bits = encode_one(fmt.min_subnormal, fmt)
+        sign, exp_field, frac = split_fields(bits, fmt)
+        assert exp_field == 0 and frac == 1
+
+
+class TestErrors:
+    def test_unrepresentable_raises(self):
+        with pytest.raises(ValueError):
+            encode_one(1.0 + 2 ** -20, FP8_E5M2)
+
+    def test_overflow_raises(self):
+        with pytest.raises(ValueError):
+            encode_one(1e10, FP8_E5M2)
+
+    def test_bad_bit_pattern_raises(self):
+        with pytest.raises(ValueError):
+            split_fields(1 << 20, FP16)
+
+
+class TestAllFiniteValues:
+    def test_count_with_subnormals(self):
+        fmt = FPFormat(4, 3)
+        values = all_finite_values(fmt)
+        # per sign: 14 exponents x 8 + 7 subnormals + zero, deduped across sign
+        assert len(values) == 2 * (14 * 8 + 7) + 1
+
+    def test_count_without_subnormals(self):
+        fmt = FPFormat(4, 3, subnormals=False)
+        values = all_finite_values(fmt)
+        assert len(values) == 2 * (14 * 8) + 1
+
+    def test_sorted_and_unique(self, small_format):
+        values = all_finite_values(small_format)
+        assert np.all(np.diff(values) > 0)
+
+    def test_positive_only(self, small_format):
+        values = all_finite_values(small_format, positive_only=True)
+        assert np.all(values >= 0)
+
+    def test_symmetric(self, small_format):
+        values = all_finite_values(small_format)
+        assert np.array_equal(values, -values[::-1])

@@ -1,0 +1,103 @@
+"""The bit-twiddling fast quantizer must match the reference bit-for-bit."""
+
+import numpy as np
+import pytest
+
+from repro.fp.fastquant import quantize_fast
+from repro.fp.formats import FP8_E5M2, FP12_E6M5, FP16, FP32, FPFormat
+from repro.fp.quantize import quantize
+
+FORMATS = [
+    FP12_E6M5,
+    FP12_E6M5.with_subnormals(False),
+    FP16,
+    FP16.with_subnormals(False),
+    FP8_E5M2,
+    FP32,
+    FPFormat(8, 7),
+]
+
+
+def _stress_sample(rng):
+    """Values spanning normals, subnormals, deep tail, specials, zeros."""
+    return np.concatenate([
+        rng.normal(size=3000),
+        rng.normal(size=500) * 1e-9,
+        rng.normal(size=500) * 1e-12,
+        rng.normal(size=500) * 1e-40,
+        rng.normal(size=300) * 1e9,
+        rng.normal(size=300) * 1e38,
+        [0.0, -0.0, np.inf, -np.inf, np.nan, 5e-324, -5e-324],
+    ])
+
+
+def _assert_same(a, b):
+    assert np.array_equal(a, b, equal_nan=True)
+    finite = np.isfinite(a)
+    assert np.array_equal(np.signbit(a[finite]), np.signbit(b[finite]))
+
+
+@pytest.mark.parametrize("fmt", FORMATS, ids=lambda f: f.name)
+class TestBitExactEquivalence:
+    def test_nearest(self, fmt, rng):
+        values = _stress_sample(rng)
+        _assert_same(quantize(values, fmt, "nearest"),
+                     quantize_fast(values, fmt, "nearest"))
+
+    @pytest.mark.parametrize("rbits", [4, 9, 13])
+    def test_stochastic(self, fmt, rng, rbits):
+        if rbits >= 52 - fmt.mantissa_bits:
+            pytest.skip("fast path delegates for deep rbits")
+        values = _stress_sample(rng)
+        draws = rng.integers(0, 1 << rbits, size=values.shape)
+        _assert_same(
+            quantize(values, fmt, "stochastic", rbits=rbits,
+                     random_ints=draws),
+            quantize_fast(values, fmt, "stochastic", rbits=rbits,
+                          random_ints=draws),
+        )
+
+    def test_saturate(self, fmt, rng):
+        values = _stress_sample(rng)
+        _assert_same(quantize(values, fmt, "nearest", saturate=True),
+                     quantize_fast(values, fmt, "nearest", saturate=True))
+
+
+class TestFallbacks:
+    def test_directed_modes_delegate(self, rng):
+        values = rng.normal(size=100)
+        _assert_same(quantize(values, FP16, "up"),
+                     quantize_fast(values, FP16, "up"))
+
+    def test_exact_sr_delegates(self, rng):
+        # rbits=None -> exact SR via reference (statistically unbiased).
+        values = rng.uniform(1, 2, size=5000)
+        out = quantize_fast(values, FPFormat(5, 4), "stochastic",
+                            rng=np.random.default_rng(0))
+        assert abs(np.mean(out - values)) < 1e-3
+
+    def test_fp32_target_near_rbits_limit(self, rng):
+        # r = 27 with M = 23: 27 < 52 - 23 = 29, still on the fast path.
+        values = rng.normal(size=256)
+        draws = rng.integers(0, 1 << 27, size=values.shape)
+        _assert_same(
+            quantize(values, FP32, "stochastic", rbits=27, random_ints=draws),
+            quantize_fast(values, FP32, "stochastic", rbits=27,
+                          random_ints=draws),
+        )
+
+    def test_requires_randomness(self):
+        with pytest.raises(ValueError):
+            quantize_fast(np.ones(4), FP16, "stochastic", rbits=5)
+
+
+class TestDeepTail:
+    def test_values_below_min_subnormal(self):
+        fmt = FP12_E6M5
+        # Just below/around the smallest subnormal: reference semantics.
+        values = np.array([
+            fmt.min_subnormal * 0.49, fmt.min_subnormal * 0.51,
+            -fmt.min_subnormal * 1.5, fmt.min_subnormal,
+        ])
+        _assert_same(quantize(values, fmt, "nearest"),
+                     quantize_fast(values, fmt, "nearest"))

@@ -1,0 +1,139 @@
+"""Unit tests for FPFormat parameters and helpers."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.fp.formats import (
+    BF16,
+    FP8_E4M3,
+    FP8_E5M2,
+    FP12_E6M5,
+    FP16,
+    FP32,
+    FPFormat,
+    get_format,
+)
+
+
+class TestDerivedParameters:
+    def test_fp32_matches_ieee_single(self):
+        assert FP32.precision == 24
+        assert FP32.bias == 127
+        assert FP32.emax == 127
+        assert FP32.emin == -126
+        assert FP32.machine_eps == 2.0 ** -23
+        assert FP32.max_value == (2 - 2 ** -23) * 2.0 ** 127
+        assert FP32.min_normal == 2.0 ** -126
+
+    def test_fp16_matches_ieee_half(self):
+        assert FP16.precision == 11
+        assert FP16.bias == 15
+        assert FP16.emin == -14
+        assert FP16.max_value == 65504.0
+        assert FP16.min_normal == 2.0 ** -14
+        assert FP16.min_subnormal == 2.0 ** -24
+
+    def test_e6m5_paper_format(self):
+        assert FP12_E6M5.total_bits == 12
+        assert FP12_E6M5.emax == 31
+        assert FP12_E6M5.emin == -30
+        assert FP12_E6M5.precision == 6
+
+    def test_e5m2_fp8(self):
+        assert FP8_E5M2.total_bits == 8
+        assert FP8_E5M2.emax == 15
+        assert FP8_E5M2.min_subnormal == 2.0 ** -16
+
+    def test_bf16(self):
+        assert BF16.exponent_bits == 8
+        assert BF16.emax == FP32.emax
+        assert BF16.total_bits == 16
+
+    def test_smallest_positive_depends_on_subnormals(self):
+        with_sub = FP12_E6M5
+        without = FP12_E6M5.with_subnormals(False)
+        assert with_sub.smallest_positive == with_sub.min_subnormal
+        assert without.smallest_positive == without.min_normal
+
+
+class TestValidation:
+    def test_rejects_tiny_exponent(self):
+        with pytest.raises(ValueError):
+            FPFormat(1, 5)
+
+    def test_rejects_zero_mantissa(self):
+        with pytest.raises(ValueError):
+            FPFormat(5, 0)
+
+    def test_rejects_wider_than_float64(self):
+        with pytest.raises(ValueError):
+            FPFormat(12, 10)
+        with pytest.raises(ValueError):
+            FPFormat(8, 53)
+
+    def test_default_name(self):
+        assert FPFormat(6, 5).name == "E6M5"
+
+    def test_with_subnormals_roundtrip(self):
+        fz = FP16.with_subnormals(False)
+        assert not fz.subnormals
+        assert fz.exponent_bits == FP16.exponent_bits
+        back = fz.with_subnormals(True)
+        assert back.subnormals
+        assert "-fz" not in back.name
+
+
+class TestUlp:
+    def test_ulp_at_one(self):
+        assert FP16.ulp(1.0) == FP16.machine_eps
+
+    def test_ulp_in_binade(self):
+        assert FP16.ulp(5.0) == 2.0 ** (2 - 10)
+
+    def test_ulp_subnormal_range(self):
+        assert FP16.ulp(FP16.min_normal / 4) == FP16.min_subnormal
+
+    def test_ulp_negative_symmetric(self):
+        assert FP16.ulp(-3.0) == FP16.ulp(3.0)
+
+    def test_exact_ulp_matches_float_ulp(self):
+        for value in (1.0, 0.75, 123.0, 2.0 ** -14, 2.0 ** -20):
+            assert float(FP16.exact_ulp(Fraction(value))) == FP16.ulp(value)
+
+
+class TestRepresentable:
+    def test_one_is_representable(self, any_format):
+        assert any_format.is_representable(1.0)
+
+    def test_max_value_representable(self, any_format):
+        assert any_format.is_representable(any_format.max_value)
+
+    def test_off_grid_not_representable(self):
+        assert not FP12_E6M5.is_representable(1.0 + 2.0 ** -10)
+
+    def test_specials_representable(self):
+        assert FP16.is_representable(float("inf"))
+        assert FP16.is_representable(float("nan"))
+
+
+class TestRegistry:
+    def test_named_lookup(self):
+        assert get_format("FP16") is FP16
+        assert get_format("fp32") is FP32
+        assert get_format("E6M5") is FP12_E6M5
+        assert get_format("BF16") is BF16
+
+    def test_generic_exmy_lookup(self):
+        fmt = get_format("E7M4")
+        assert fmt.exponent_bits == 7
+        assert fmt.mantissa_bits == 4
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_format("FP64X")
+
+    def test_equality_ignores_name(self):
+        assert FPFormat(5, 10, name="a") == FPFormat(5, 10, name="b")
+        assert FPFormat(5, 10) != FPFormat(5, 10, subnormals=False)

@@ -1,0 +1,184 @@
+"""Unit tests for the exact scalar rounding reference."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.fp.formats import FP12_E6M5, FP16, FPFormat
+from repro.fp.rounding import (
+    OVERFLOW,
+    decompose,
+    round_float,
+    round_to_format,
+    rounding_candidates,
+    sr_probability,
+)
+
+
+class TestDecompose:
+    def test_exact_value(self):
+        sign, exp, k, frac = decompose(1.5, FP16)
+        assert sign == 1 and exp == 0
+        assert frac == 0
+        assert k * Fraction(2) ** (exp - FP16.mantissa_bits) == Fraction(3, 2)
+
+    def test_fraction_is_eps_x(self):
+        # x = 1 + eps/4 -> eps_x = 1/4
+        fmt = FP12_E6M5
+        x = Fraction(1) + Fraction(fmt.machine_eps) / 4
+        _, _, _, frac = decompose(x, fmt)
+        assert frac == Fraction(1, 4)
+
+    def test_negative_sign(self):
+        sign, _, _, _ = decompose(-2.0, FP16)
+        assert sign == -1
+
+    def test_subnormal_clamps_exponent(self):
+        fmt = FP12_E6M5
+        _, exp, _, _ = decompose(fmt.min_subnormal * 3, fmt)
+        assert exp == fmt.emin
+
+
+class TestCandidates:
+    def test_interior_point(self):
+        fmt = FPFormat(4, 3)
+        down, up, prob = rounding_candidates(1.05, fmt)
+        assert down == Fraction(1)
+        assert up == Fraction(9, 8)
+        assert prob == (Fraction(1.05) - 1) / Fraction(1, 8)
+
+    def test_overflow_candidate(self):
+        fmt = FPFormat(4, 3)
+        down, up, _ = rounding_candidates(fmt.max_value * 1.01, fmt)
+        assert down == Fraction(fmt.max_value)
+        assert up is OVERFLOW
+
+
+class TestNearestEven:
+    def test_round_down_below_half(self):
+        fmt = FPFormat(4, 3)
+        assert round_to_format(1.01, fmt, "nearest") == 1
+
+    def test_round_up_above_half(self):
+        fmt = FPFormat(4, 3)
+        assert round_to_format(1.12, fmt, "nearest") == Fraction(9, 8)
+
+    def test_tie_to_even_down(self):
+        fmt = FPFormat(4, 3)
+        # 1 + eps/2 ties between 1 (even) and 1+eps (odd) -> 1
+        assert round_to_format(Fraction(17, 16), fmt, "nearest") == 1
+
+    def test_tie_to_even_up(self):
+        fmt = FPFormat(4, 3)
+        # 1+eps + eps/2 ties between odd 1+eps and even 1+2eps -> up
+        x = Fraction(1) + Fraction(3, 16)
+        assert round_to_format(x, fmt, "nearest") == Fraction(10, 8)
+
+    def test_overflow_to_infinity(self):
+        fmt = FPFormat(4, 3)
+        assert round_to_format(fmt.max_value * 2, fmt, "nearest") == float("inf")
+        assert round_to_format(-fmt.max_value * 2, fmt, "nearest") == float("-inf")
+
+
+class TestDirected:
+    @pytest.fixture
+    def fmt(self):
+        return FPFormat(4, 3)
+
+    def test_toward_zero(self, fmt):
+        assert round_to_format(1.12, fmt, "toward_zero") == 1
+        assert round_to_format(-1.12, fmt, "toward_zero") == -1
+
+    def test_up(self, fmt):
+        assert round_to_format(1.01, fmt, "up") == Fraction(9, 8)
+        assert round_to_format(-1.12, fmt, "up") == -1
+
+    def test_down(self, fmt):
+        assert round_to_format(1.12, fmt, "down") == 1
+        assert round_to_format(-1.01, fmt, "down") == -Fraction(9, 8)
+
+    def test_exact_values_unchanged(self, fmt):
+        for mode in ("nearest", "toward_zero", "up", "down"):
+            assert round_to_format(1.5, fmt, mode) == Fraction(3, 2)
+
+
+class TestStochastic:
+    def test_exact_sr_thresholds(self):
+        fmt = FPFormat(4, 3)
+        x = Fraction(1) + Fraction(1, 32)  # eps_x = 1/4
+        down = round_to_format(x, fmt, "stochastic", random_unit=Fraction(1, 4))
+        up = round_to_format(x, fmt, "stochastic", random_unit=Fraction(1, 5))
+        assert down == 1
+        assert up == Fraction(9, 8)
+
+    def test_rbit_sr_never_up_when_frac_below_resolution(self):
+        # eps_x < 2^-r  ->  kept bits are zero -> never rounds up (the
+        # mechanism behind the r=4 accuracy collapse of Table III).
+        fmt = FP12_E6M5
+        x = Fraction(1) + Fraction(fmt.machine_eps) / 64
+        for random_int in range(16):
+            result = round_to_format(x, fmt, "stochastic",
+                                     random_int=random_int, rbits=4)
+            assert result == 1
+
+    def test_rbit_sr_probability_counts(self):
+        fmt = FPFormat(4, 3)
+        rbits = 5
+        x = Fraction(1) + Fraction(3, 8) * Fraction(fmt.machine_eps)
+        ups = sum(
+            round_to_format(x, fmt, "stochastic", random_int=i, rbits=rbits)
+            != 1
+            for i in range(1 << rbits)
+        )
+        # eps_x = 3/8 -> exactly floor(3/8 * 32) = 12 of 32 draws round up.
+        assert ups == 12
+
+    def test_requires_random_argument(self):
+        with pytest.raises(ValueError):
+            round_to_format(1.01, FP16, "stochastic")
+        with pytest.raises(ValueError):
+            round_to_format(1.01, FP16, "stochastic", rbits=5)
+
+    def test_random_int_range_checked(self):
+        with pytest.raises(ValueError):
+            round_to_format(1.01, FP16, "stochastic", rbits=3, random_int=8)
+
+
+class TestSrProbability:
+    def test_exact(self):
+        fmt = FPFormat(4, 3)
+        x = Fraction(1) + Fraction(1, 32)
+        assert sr_probability(x, fmt) == Fraction(1, 4)
+
+    def test_quantized(self):
+        fmt = FPFormat(4, 3)
+        x = Fraction(1) + Fraction(1, 48)  # eps_x = 1/6
+        assert sr_probability(x, fmt, rbits=3) == Fraction(1, 8)
+        assert sr_probability(x, fmt, rbits=1) == 0
+
+
+class TestFlushToZero:
+    def test_subnormal_result_flushed(self):
+        fmt = FPFormat(4, 3, subnormals=False)
+        tiny = fmt.min_normal / 4
+        assert round_to_format(tiny, fmt, "nearest") == 0
+
+    def test_subnormal_kept_with_support(self):
+        fmt = FPFormat(4, 3)
+        tiny = fmt.min_subnormal * 3
+        assert round_to_format(tiny, fmt, "nearest") == Fraction(tiny)
+
+
+class TestRoundFloat:
+    def test_specials_passthrough(self):
+        assert round_float(float("inf"), FP16) == float("inf")
+        assert round_float(float("-inf"), FP16) == float("-inf")
+        assert round_float(float("nan"), FP16) != round_float(float("nan"), FP16)
+
+    def test_signed_zero_preserved(self):
+        import math
+
+        assert math.copysign(1.0, round_float(-0.0, FP16)) == -1.0
+
+    def test_finite_roundtrip(self):
+        assert round_float(1.0 / 3.0, FP16) == pytest.approx(1 / 3, rel=1e-3)

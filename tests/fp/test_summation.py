@@ -1,0 +1,113 @@
+"""Summation-algorithm tests."""
+
+import numpy as np
+import pytest
+
+from repro.fp.formats import FP12_E6M5, FP16, FPFormat
+from repro.fp.summation import (
+    ALGORITHMS,
+    RoundingPolicy,
+    blocked_sum,
+    kahan_sum,
+    pairwise_sum,
+    recursive_sum,
+    two_precision_sum,
+)
+
+
+class TestRoundingPolicy:
+    def test_exact_policy_is_identity(self, rng):
+        policy = RoundingPolicy.exact()
+        values = rng.normal(size=10)
+        assert np.array_equal(policy.round(values), values)
+
+    def test_rn_policy_quantizes(self):
+        policy = RoundingPolicy.rn(FP12_E6M5)
+        assert policy.round_scalar(1.0 + 1e-6) == 1.0
+
+    def test_sr_policy_deterministic_per_seed(self):
+        a = RoundingPolicy.sr(FP12_E6M5, 9, seed=3)
+        b = RoundingPolicy.sr(FP12_E6M5, 9, seed=3)
+        x = np.full(100, 1.0 + FP12_E6M5.machine_eps / 3)
+        assert np.array_equal(a.round(x), b.round(x))
+
+
+class TestExactAgreement:
+    """With the exact policy every algorithm returns the true sum."""
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_exact_policy(self, rng, name):
+        values = rng.normal(size=257)
+        got = ALGORITHMS[name](values, RoundingPolicy.exact())
+        assert got == pytest.approx(values.sum(), rel=1e-12)
+
+    def test_empty_and_single(self):
+        policy = RoundingPolicy.rn(FP16)
+        assert recursive_sum(np.array([]), policy) == 0.0
+        assert pairwise_sum(np.array([]), policy) == 0.0
+        assert pairwise_sum(np.array([1.5]), policy) == 1.5
+        assert blocked_sum(np.array([1.5]), policy) == 1.5
+
+
+class TestStagnationOrdering:
+    """The motivating comparison: recursive RN is the worst performer on
+    the uniform-terms workload; structure or SR rescues it."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return np.random.default_rng(5).random(3000)
+
+    def test_recursive_rn_stagnates(self, workload):
+        fmt = FP12_E6M5
+        exact = workload.sum()
+        got = recursive_sum(workload, RoundingPolicy.rn(fmt))
+        assert got < 0.5 * exact  # badly stagnated
+
+    def test_pairwise_rescues_rn(self, workload):
+        fmt = FP12_E6M5
+        exact = workload.sum()
+        got = pairwise_sum(workload, RoundingPolicy.rn(fmt))
+        assert abs(got - exact) / exact < 0.05
+
+    def test_blocked_beats_recursive(self, workload):
+        fmt = FP12_E6M5
+        exact = workload.sum()
+        rec = recursive_sum(workload, RoundingPolicy.rn(fmt))
+        blk = blocked_sum(workload, RoundingPolicy.rn(fmt), block=32)
+        assert abs(blk - exact) < abs(rec - exact)
+
+    def test_sr_rescues_recursive(self, workload):
+        """SR keeps tracking the sum where RN stagnates.  Single-run SR
+        error at n=3000 in E6M5 is a few ulp(sum) * sqrt(n) ~ 10%, far
+        under RN's >50% stagnation loss."""
+        fmt = FP12_E6M5
+        exact = workload.sum()
+        sr = recursive_sum(workload, RoundingPolicy.sr(fmt, 13, seed=1))
+        rn = recursive_sum(workload, RoundingPolicy.rn(fmt))
+        assert abs(sr - exact) / exact < 0.25
+        assert abs(sr - exact) < abs(rn - exact) / 2
+
+    def test_kahan_beats_plain_recursive(self, workload):
+        fmt = FP16
+        exact = workload.sum()
+        plain = recursive_sum(workload, RoundingPolicy.rn(fmt))
+        compensated = kahan_sum(workload, RoundingPolicy.rn(fmt))
+        assert abs(compensated - exact) <= abs(plain - exact)
+
+    def test_two_precision_baseline(self, workload):
+        exact = workload.sum()
+        got = two_precision_sum(workload, RoundingPolicy.rn(FPFormat(8, 23)),
+                                RoundingPolicy.rn(FP12_E6M5))
+        assert abs(got - exact) / exact < 0.02
+
+
+class TestBlockedValidation:
+    def test_invalid_block_raises(self):
+        with pytest.raises(ValueError):
+            blocked_sum(np.ones(4), RoundingPolicy.exact(), block=0)
+
+    def test_block_equals_n_is_recursive(self, rng):
+        values = rng.random(64)
+        policy = RoundingPolicy.rn(FP16)
+        assert blocked_sum(values, policy, block=64) == pytest.approx(
+            recursive_sum(values, policy))

@@ -1,0 +1,157 @@
+"""Model zoo: shapes, backward passes, end-to-end gradient flow."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    MLP,
+    SimpleCNN,
+    resnet8,
+    resnet20,
+    resnet50_style,
+    vgg16,
+    vgg_small,
+)
+from repro.nn.loss import CrossEntropyLoss
+
+
+def _step_decreases_loss(model, x, labels, lr=0.05, steps=12):
+    """A few SGD steps on one batch must reduce the loss."""
+    criterion = CrossEntropyLoss()
+    first = None
+    for _ in range(steps):
+        model.zero_grad()
+        logits = model(x)
+        loss = criterion(logits, labels)
+        if first is None:
+            first = loss
+        model.backward(criterion.backward())
+        for param in model.parameters():
+            param.data -= lr * param.grad
+    final = criterion(model(x), labels)
+    return first, final
+
+
+class TestMLP:
+    def test_output_shape(self, rng):
+        model = MLP(48, [32, 16], num_classes=10, seed=0)
+        out = model(rng.normal(size=(4, 3, 4, 4)))
+        assert out.shape == (4, 10)
+
+    def test_overfits_one_batch(self, rng):
+        model = MLP(16, [32], num_classes=4, seed=0)
+        x = rng.normal(size=(16, 16))
+        labels = rng.integers(0, 4, size=16)
+        first, final = _step_decreases_loss(model, x, labels, lr=0.2)
+        assert final < first * 0.6
+
+
+class TestSimpleCNN:
+    def test_output_shape(self, rng):
+        model = SimpleCNN(num_classes=10, width=4, seed=0)
+        out = model(rng.normal(size=(2, 3, 8, 8)))
+        assert out.shape == (2, 10)
+
+    def test_backward_shapes(self, rng):
+        model = SimpleCNN(num_classes=5, width=4, seed=0)
+        x = rng.normal(size=(2, 3, 8, 8))
+        out = model(x)
+        grad = model.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_learns(self, rng):
+        model = SimpleCNN(num_classes=2, width=4, seed=0)
+        x = rng.normal(size=(8, 3, 8, 8))
+        labels = rng.integers(0, 2, size=8)
+        first, final = _step_decreases_loss(model, x, labels)
+        assert final < first
+
+
+class TestResNet:
+    def test_resnet20_structure(self):
+        model = resnet20(base_width=16, seed=0)
+        # 6n+2 with n=3: 19 convs in blocks + stem + 2 projections + head
+        conv_params = [p for p in model.parameters()
+                       if p.name == "conv.weight"]
+        assert len(conv_params) == 1 + 18 + 2  # stem + blocks + projections
+
+    def test_resnet8_forward_backward(self, rng):
+        model = resnet8(base_width=4, seed=0)
+        x = rng.normal(size=(2, 3, 8, 8))
+        out = model(x)
+        assert out.shape == (2, 10)
+        grad = model.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+        assert all(np.isfinite(p.grad).all() for p in model.parameters())
+
+    def test_downsampling_halves_twice(self, rng):
+        model = resnet8(base_width=4, seed=0)
+        x = rng.normal(size=(1, 3, 16, 16))
+        out = model.stem(x)
+        for i, stage in enumerate(model.stages):
+            out = stage(out)
+            expected = 16 // (2 ** max(0, i))
+            assert out.shape[-1] == expected
+
+    def test_resnet8_learns(self, rng):
+        model = resnet8(num_classes=2, base_width=4, seed=0)
+        x = rng.normal(size=(8, 3, 8, 8))
+        labels = rng.integers(0, 2, size=8)
+        first, final = _step_decreases_loss(model, x, labels)
+        assert final < first
+
+    def test_resnet50_style_bottlenecks(self, rng):
+        model = resnet50_style(base_width=4, blocks_per_stage=[1, 1, 1],
+                               seed=0)
+        x = rng.normal(size=(2, 3, 8, 8))
+        out = model(x)
+        assert out.shape == (2, 10)
+        grad = model.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_all_parameters_receive_gradients(self, rng):
+        model = resnet8(base_width=4, seed=0)
+        x = rng.normal(size=(4, 3, 8, 8))
+        criterion = CrossEntropyLoss()
+        criterion(model(x), rng.integers(0, 10, size=4))
+        model.backward(criterion.backward())
+        for param in model.parameters():
+            assert np.any(param.grad != 0.0) or param.data.size <= 10
+
+
+class TestVGG:
+    def test_vgg16_full_scale_structure(self):
+        model = vgg16(width_scale=1.0, image_size=32, seed=0)
+        convs = [p for p in model.parameters() if p.name == "conv.weight"]
+        assert len(convs) == 13  # the 13 conv layers of VGG-16
+
+    def test_vgg_small_forward_backward(self, rng):
+        model = vgg_small(num_classes=10, image_size=8, seed=0)
+        x = rng.normal(size=(2, 3, 8, 8))
+        out = model(x)
+        assert out.shape == (2, 10)
+        grad = model.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_width_scaling_reduces_parameters(self):
+        big = vgg_small(image_size=8, width_scale=1.0, seed=0)
+        small = vgg_small(image_size=8, width_scale=0.5, seed=0)
+        assert small.parameter_count() < big.parameter_count()
+
+    def test_pooling_adapts_to_tiny_images(self, rng):
+        model = vgg16(width_scale=0.1, image_size=8, seed=0)
+        out = model(rng.normal(size=(1, 3, 8, 8)))
+        assert out.shape == (1, 10)
+
+
+class TestQuantizedModels:
+    def test_resnet_through_quantized_gemm(self, rng):
+        from repro.emu import GemmConfig, QuantizedGemm
+
+        gemm = QuantizedGemm(GemmConfig.sr(9, subnormals=False, seed=1))
+        model = resnet8(base_width=4, gemm=gemm, seed=0)
+        x = rng.normal(size=(2, 3, 8, 8))
+        out = model(x)
+        assert np.all(np.isfinite(out))
+        model.backward(np.ones_like(out) * 0.01)
+        assert gemm.call_count > 20  # every conv fwd/bwd went through it

@@ -1,0 +1,109 @@
+"""im2col/col2im and elementary functional tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.functional import (
+    col2im,
+    conv_output_size,
+    im2col,
+    one_hot,
+    softmax,
+)
+
+
+class TestConvOutputSize:
+    def test_same_padding(self):
+        assert conv_output_size(8, 3, 1, 1) == 8
+
+    def test_stride_two(self):
+        assert conv_output_size(8, 3, 2, 1) == 4
+
+    def test_no_padding(self):
+        assert conv_output_size(8, 3, 1, 0) == 6
+
+
+class TestIm2Col:
+    def test_shapes(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        cols, (oh, ow) = im2col(x, 3, 1, 1)
+        assert (oh, ow) == (8, 8)
+        assert cols.shape == (2 * 64, 27)
+
+    def test_patch_contents(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        cols, _ = im2col(x, 3, 1, 0)
+        # First patch is the top-left 3x3 block.
+        assert np.array_equal(cols[0], x[0, 0, :3, :3].ravel())
+
+    def test_conv_via_gemm_matches_direct(self, rng):
+        """im2col-GEMM convolution equals direct nested-loop convolution."""
+        x = rng.normal(size=(2, 3, 6, 6))
+        w = rng.normal(size=(4, 3, 3, 3))
+        cols, (oh, ow) = im2col(x, 3, 1, 1)
+        out = (cols @ w.reshape(4, -1).T).reshape(2, oh, ow, 4)
+        out = out.transpose(0, 3, 1, 2)
+        padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        direct = np.zeros_like(out)
+        for n in range(2):
+            for f in range(4):
+                for i in range(6):
+                    for j in range(6):
+                        patch = padded[n, :, i:i + 3, j:j + 3]
+                        direct[n, f, i, j] = np.sum(patch * w[f])
+        assert np.allclose(out, direct)
+
+    def test_stride_two_patches(self, rng):
+        x = rng.normal(size=(1, 2, 8, 8))
+        cols, (oh, ow) = im2col(x, 3, 2, 1)
+        assert (oh, ow) == (4, 4)
+        assert cols.shape == (16, 18)
+
+
+class TestCol2Im:
+    def test_adjoint_property(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — exact adjointness."""
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols, _ = im2col(x, 3, 1, 1)
+        y = rng.normal(size=cols.shape)
+        lhs = np.sum(cols * y)
+        rhs = np.sum(x * col2im(y, x.shape, 3, 1, 1))
+        assert lhs == pytest.approx(rhs)
+
+    def test_adjoint_with_stride(self, rng):
+        x = rng.normal(size=(1, 2, 8, 8))
+        cols, _ = im2col(x, 3, 2, 1)
+        y = rng.normal(size=cols.shape)
+        lhs = np.sum(cols * y)
+        rhs = np.sum(x * col2im(y, x.shape, 3, 2, 1))
+        assert lhs == pytest.approx(rhs)
+
+    def test_no_padding_roundtrip_count(self):
+        """col2im of ones counts how often each pixel is visited."""
+        x_shape = (1, 1, 4, 4)
+        cols, _ = im2col(np.zeros(x_shape), 3, 1, 0)
+        counts = col2im(np.ones(cols.shape), x_shape, 3, 1, 0)
+        assert counts[0, 0, 0, 0] == 1  # corner in one patch
+        assert counts[0, 0, 1, 1] == 4  # center of 4 patches
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(7, 5)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_shift_invariance(self, rng):
+        logits = rng.normal(size=(3, 4))
+        assert np.allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_handles_large_values(self):
+        probs = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+
+class TestOneHot:
+    def test_encoding(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        assert np.array_equal(out, np.array([[1, 0, 0], [0, 0, 1], [0, 1, 0]],
+                                            dtype=np.float64))

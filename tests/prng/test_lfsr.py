@@ -1,0 +1,96 @@
+"""Tests for the Galois LFSR models."""
+
+import numpy as np
+import pytest
+
+from repro.prng.lfsr import GALOIS_TAPS, MAXIMAL_TAPS, GaloisLFSR, VectorLFSR, galois_mask
+
+
+class TestGaloisMask:
+    def test_mask_sets_tap_bits(self):
+        assert galois_mask(4, (4, 3)) == 0b1100
+        assert galois_mask(13) == galois_mask(13, MAXIMAL_TAPS[13])
+
+    def test_rejects_out_of_range_taps(self):
+        with pytest.raises(ValueError):
+            galois_mask(4, (5,))
+        with pytest.raises(ValueError):
+            galois_mask(4, (0,))
+
+    def test_unknown_width_raises(self):
+        with pytest.raises(ValueError):
+            galois_mask(40)
+
+
+class TestMaximalPeriod:
+    @pytest.mark.parametrize("width", [2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14])
+    def test_full_period(self, width):
+        lfsr = GaloisLFSR(width)
+        assert lfsr.period() == (1 << width) - 1
+
+    def test_paper_widths_are_available(self):
+        # r values used in the paper: 4, 7, 9, 11, 13, 14, 27
+        for width in (4, 7, 9, 11, 13, 14, 27):
+            assert width in GALOIS_TAPS
+
+    def test_visits_every_nonzero_state(self):
+        width = 6
+        lfsr = GaloisLFSR(width)
+        states = set(lfsr.sequence((1 << width) - 1))
+        assert len(states) == (1 << width) - 1
+        assert 0 not in states
+
+
+class TestStateHandling:
+    def test_zero_seed_remapped(self):
+        lfsr = GaloisLFSR(8, seed=0)
+        assert lfsr.state == 0xFF
+
+    def test_seed_masked_to_width(self):
+        lfsr = GaloisLFSR(4, seed=0x1F)
+        assert lfsr.state == 0xF
+
+    def test_states_stay_in_range(self):
+        lfsr = GaloisLFSR(9, seed=123)
+        for value in lfsr.sequence(2000):
+            assert 0 < value < (1 << 9)
+
+    def test_deterministic_given_seed(self):
+        a = GaloisLFSR(13, seed=77).sequence(50)
+        b = GaloisLFSR(13, seed=77).sequence(50)
+        assert a == b
+
+
+class TestUniformity:
+    def test_draws_roughly_uniform(self):
+        lfsr = GaloisLFSR(9)
+        draws = np.array(lfsr.sequence((1 << 9) - 1))
+        # Over the full period each nonzero value appears exactly once.
+        assert draws.mean() == pytest.approx((1 << 9) / 2, rel=0.01)
+
+
+class TestVectorLFSR:
+    def test_matches_scalar_trajectories(self):
+        width = 9
+        vec = VectorLFSR(width, lanes=8, seed=3)
+        initial = vec.states.copy()
+        scalars = [GaloisLFSR(width, seed=int(s)) for s in initial]
+        for _ in range(100):
+            vec_states = vec.step()
+            for lane, scalar in enumerate(scalars):
+                assert scalar.step() == int(vec_states[lane])
+
+    def test_draw_shape_and_range(self):
+        vec = VectorLFSR(13, lanes=16, seed=1)
+        draws = vec.draw((7, 5))
+        assert draws.shape == (7, 5)
+        assert np.all(draws > 0)
+        assert np.all(draws < (1 << 13))
+
+    def test_no_zero_states_after_init(self):
+        vec = VectorLFSR(4, lanes=1000, seed=9)
+        assert np.all(vec.states != 0)
+
+    def test_unknown_width_raises(self):
+        with pytest.raises(ValueError):
+            VectorLFSR(64, lanes=4)

@@ -1,0 +1,109 @@
+"""Hypothesis property tests for the adder designs on the paper's formats."""
+
+import math
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.fp.encode import decode_one
+from repro.fp.formats import FP12_E6M5, FPFormat
+from repro.fp.rounding import round_float
+from repro.rtl.adder_rn import FPAdderRN
+from repro.rtl.adder_sr_eager import FPAdderSREager
+from repro.rtl.adder_sr_lazy import FPAdderSRLazy
+
+E6M5_BITS = st.integers(min_value=0, max_value=(1 << 12) - 1)
+
+
+def _decode(bits, fmt=FP12_E6M5):
+    return decode_one(bits, fmt)
+
+
+@given(E6M5_BITS, E6M5_BITS)
+@settings(max_examples=800, deadline=None)
+def test_rn_adder_matches_reference_on_random_patterns(x_bits, y_bits):
+    x = _decode(x_bits)
+    y = _decode(y_bits)
+    got = FPAdderRN(FP12_E6M5).add(x, y).value
+    if math.isnan(x) or math.isnan(y) or (math.isinf(x) and math.isinf(y)
+                                          and x != y):
+        assert got != got
+        return
+    if math.isinf(x) or math.isinf(y):
+        return
+    want = round_float(x + y, FP12_E6M5, "nearest")
+    assert got == want or (got != got and want != want)
+
+
+@given(E6M5_BITS, E6M5_BITS, st.integers(min_value=0, max_value=511))
+@settings(max_examples=600, deadline=None)
+def test_addition_is_commutative(x_bits, y_bits, draw):
+    x, y = _decode(x_bits), _decode(y_bits)
+    for adder in (FPAdderRN(FP12_E6M5), FPAdderSRLazy(FP12_E6M5, 9),
+                  FPAdderSREager(FP12_E6M5, 9)):
+        a = adder.add(x, y, draw).value
+        b = adder.add(y, x, draw).value
+        assert a == b or (a != a and b != b)
+
+
+@given(E6M5_BITS, E6M5_BITS, st.integers(min_value=0, max_value=511))
+@settings(max_examples=600, deadline=None)
+def test_sr_result_brackets_exact_sum(x_bits, y_bits, draw):
+    """SR output is within one ulp of the exact sum (never wilder)."""
+    x, y = _decode(x_bits), _decode(y_bits)
+    assume(math.isfinite(x) and math.isfinite(y))
+    fmt = FP12_E6M5
+    got = FPAdderSRLazy(fmt, 9).add(x, y, draw).value
+    exact = x + y
+    if not math.isfinite(got) or abs(exact) >= fmt.max_value:
+        return
+    assert abs(got - exact) <= fmt.ulp(exact) + 1e-300
+
+
+@given(E6M5_BITS, E6M5_BITS, st.integers(min_value=0, max_value=511))
+@settings(max_examples=400, deadline=None)
+def test_sign_symmetry(x_bits, y_bits, draw):
+    """SR(-x + -y; R) == -SR(x + y; R): magnitude-based rounding."""
+    x, y = _decode(x_bits), _decode(y_bits)
+    assume(math.isfinite(x) and math.isfinite(y))
+    adder = FPAdderSREager(FP12_E6M5, 9)
+    pos = adder.add(x, y, draw).value
+    neg = adder.add(-x, -y, draw).value
+    if pos != pos:
+        assert neg != neg
+    else:
+        assert neg == -pos
+
+
+@given(E6M5_BITS)
+@settings(max_examples=300, deadline=None)
+def test_adding_zero_is_identity(x_bits):
+    x = _decode(x_bits)
+    assume(math.isfinite(x))
+    for adder in (FPAdderRN(FP12_E6M5), FPAdderSREager(FP12_E6M5, 9)):
+        got = adder.add(x, 0.0, 0).value
+        # Flush-to-zero formats may flush subnormal x itself.
+        if abs(x) < FP12_E6M5.min_normal and not FP12_E6M5.subnormals:
+            continue
+        assert got == x
+
+
+@given(st.integers(min_value=3, max_value=8),
+       st.integers(min_value=2, max_value=10),
+       st.booleans(),
+       st.integers(min_value=0, max_value=2 ** 30),
+       st.integers(min_value=0, max_value=2 ** 30),
+       st.integers(min_value=0, max_value=2 ** 30))
+@settings(max_examples=400, deadline=None)
+def test_eager_lazy_equivalence_random_formats(e_bits, m_bits, subnormals,
+                                               x_seed, y_seed, draw_seed):
+    """Eager == lazy on randomly drawn formats, not just the paper's."""
+    fmt = FPFormat(e_bits, m_bits, subnormals=subnormals)
+    rbits = m_bits + 4
+    x = _decode(x_seed % (1 << fmt.total_bits), fmt)
+    y = _decode(y_seed % (1 << fmt.total_bits), fmt)
+    draw = draw_seed % (1 << rbits)
+    a = FPAdderSRLazy(fmt, rbits).add(x, y, draw).value
+    b = FPAdderSREager(fmt, rbits).add(x, y, draw).value
+    assert a == b or (a != a and b != b)

@@ -1,0 +1,137 @@
+"""The RN adder must agree exhaustively with the exact rounding reference."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.fp.encode import all_finite_values
+from repro.fp.formats import FP12_E6M5, FPFormat
+from repro.fp.rounding import round_float
+from repro.rtl.adder_rn import FPAdderRN
+
+
+def _same(a: float, b: float) -> bool:
+    if a != a and b != b:
+        return True
+    if a == 0.0 and b == 0.0:
+        return math.copysign(1.0, a) == math.copysign(1.0, b)
+    return a == b
+
+
+class TestExhaustiveAgainstReference:
+    @pytest.mark.parametrize("subnormals", [True, False])
+    def test_all_pairs_small_format(self, subnormals):
+        fmt = FPFormat(4, 3, subnormals=subnormals)
+        adder = FPAdderRN(fmt)
+        values = all_finite_values(fmt)
+        for x, y in itertools.product(values[::2], values[::2]):
+            got = adder.add(float(x), float(y)).value
+            want = round_float(float(x) + float(y), fmt, "nearest")
+            assert _same(got, want), (x, y, got, want)
+
+    def test_random_pairs_e6m5(self, rng):
+        fmt = FP12_E6M5
+        adder = FPAdderRN(fmt)
+        values = all_finite_values(fmt)
+        xs = rng.choice(values, size=500)
+        ys = rng.choice(values, size=500)
+        for x, y in zip(xs, ys):
+            got = adder.add(float(x), float(y)).value
+            want = round_float(float(x) + float(y), fmt, "nearest")
+            assert _same(got, want), (x, y, got, want)
+
+
+class TestSpecialValues:
+    @pytest.fixture
+    def adder(self):
+        return FPAdderRN(FP12_E6M5)
+
+    def test_nan_propagates(self, adder):
+        assert adder.add(float("nan"), 1.0).value != adder.add(float("nan"), 1.0).value
+
+    def test_inf_plus_finite(self, adder):
+        assert adder.add(float("inf"), -5.0).value == float("inf")
+        assert adder.add(-3.0, float("-inf")).value == float("-inf")
+
+    def test_inf_minus_inf_is_nan(self, adder):
+        result = adder.add(float("inf"), float("-inf")).value
+        assert result != result
+
+    def test_inf_plus_inf(self, adder):
+        assert adder.add(float("inf"), float("inf")).value == float("inf")
+
+    def test_zero_identities(self, adder):
+        assert adder.add(0.0, 1.5).value == 1.5
+        assert adder.add(-2.5, 0.0).value == -2.5
+        assert adder.add(0.0, 0.0).value == 0.0
+
+    def test_negative_zero_sum(self, adder):
+        result = adder.add(-0.0, -0.0).value
+        assert result == 0.0 and math.copysign(1.0, result) == -1.0
+
+    def test_exact_cancellation_gives_positive_zero(self, adder):
+        result = adder.add(1.5, -1.5).value
+        assert result == 0.0 and math.copysign(1.0, result) == 1.0
+
+    def test_overflow_to_inf(self, adder):
+        big = FP12_E6M5.max_value
+        assert adder.add(big, big).value == float("inf")
+
+
+class TestTraces:
+    def test_close_path_flag(self):
+        adder = FPAdderRN(FP12_E6M5)
+        trace = adder.add(1.5, -1.0).trace
+        assert trace.path == "close"
+        assert trace.effective_sub
+
+    def test_far_path_flag(self):
+        adder = FPAdderRN(FP12_E6M5)
+        trace = adder.add(8.0, 0.5).trace
+        assert trace.path == "far"
+        assert trace.align_shift == 4
+
+    def test_swap_recorded(self):
+        adder = FPAdderRN(FP12_E6M5)
+        assert adder.add(0.5, 8.0).trace.swap
+        assert not adder.add(8.0, 0.5).trace.swap
+
+    def test_carry_recorded(self):
+        adder = FPAdderRN(FP12_E6M5)
+        assert adder.add(1.5, 1.5).trace.carry
+
+    def test_cancellation_shift_recorded(self):
+        adder = FPAdderRN(FP12_E6M5)
+        trace = adder.add(1.0, -0.96875).trace
+        assert trace.norm_shift >= 4
+
+    def test_callable_shortcut(self):
+        adder = FPAdderRN(FP12_E6M5)
+        assert adder(1.0, 1.0) == 2.0
+
+
+class TestSubnormalHandling:
+    def test_gradual_underflow(self):
+        fmt = FPFormat(4, 3)
+        adder = FPAdderRN(fmt)
+        a = fmt.min_normal
+        b = -fmt.min_normal * 0.875
+        result = adder.add(a, b).value
+        assert result == fmt.min_subnormal
+        assert 0 < result < fmt.min_normal
+
+    def test_flush_without_support(self):
+        fmt = FPFormat(4, 3, subnormals=False)
+        adder = FPAdderRN(fmt)
+        # Two normal inputs whose difference underflows the normal range.
+        result = adder.add(fmt.min_normal * 1.125, -fmt.min_normal).value
+        assert result == 0.0
+
+    def test_subnormal_inputs_flushed(self):
+        fmt_sub = FPFormat(4, 3)
+        fmt_fz = FPFormat(4, 3, subnormals=False)
+        tiny = fmt_sub.min_subnormal * 2  # representable in the sub format
+        assert FPAdderRN(fmt_fz).add(tiny, tiny).value == 0.0
+        assert FPAdderRN(fmt_sub).add(tiny, tiny).value == 4 * fmt_sub.min_subnormal

@@ -1,0 +1,154 @@
+"""SR adder semantics: spec conformance, probabilities, determinism."""
+
+import itertools
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.fp.encode import all_finite_values
+from repro.fp.formats import FP12_E6M5, FPFormat
+from repro.fp.rounding import round_float, sr_probability
+from repro.rtl.adder_sr_eager import FPAdderSREager
+from repro.rtl.adder_sr_lazy import FPAdderSRLazy
+
+
+def _same(a: float, b: float) -> bool:
+    if a != a and b != b:
+        return True
+    return a == b
+
+
+class TestSpecConformance:
+    """For d <= r no alignment bits are lost, so the adder must equal the
+    r-bit SR of the exact sum under the same random integer."""
+
+    @pytest.mark.parametrize("adder_cls", [FPAdderSRLazy, FPAdderSREager])
+    @pytest.mark.parametrize("subnormals", [True, False])
+    def test_matches_exact_sum_rounding(self, adder_cls, subnormals, rng):
+        fmt = FPFormat(4, 3, subnormals=subnormals)
+        rbits = 6
+        adder = adder_cls(fmt, rbits)
+        values = all_finite_values(fmt)
+        for _ in range(800):
+            x = float(rng.choice(values))
+            y = float(rng.choice(values))
+            draw = int(rng.integers(0, 1 << rbits))
+            result = adder.add(x, y, draw)
+            if result.trace.align_shift > rbits or result.trace.path == "special":
+                continue
+            want = round_float(x + y, fmt, "stochastic", random_int=draw,
+                               rbits=rbits)
+            assert _same(result.value, want), (x, y, draw)
+
+
+class TestRoundingProbability:
+    def test_exhaustive_probability_equals_frac_bits(self):
+        """Over all 2^r draws the up-count equals the kept fraction."""
+        fmt = FPFormat(4, 3)
+        rbits = 5
+        adder = FPAdderSRLazy(fmt, rbits)
+        cases = [(1.0, 0.0390625), (1.0, -0.28125), (3.5, 0.109375),
+                 (1.125, 1.25), (-1.0, 0.6875)]
+        for x, y in cases:
+            ups = 0
+            frac = None
+            for draw in range(1 << rbits):
+                result = adder.add(x, y, draw)
+                ups += result.trace.round_up
+                frac = result.trace.frac_bits
+            assert ups == frac
+
+    def test_probability_matches_sr_definition(self):
+        """Against Eq. (2): P(up) = floor(eps_x * 2^r) / 2^r."""
+        fmt = FP12_E6M5
+        rbits = 9
+        adder = FPAdderSREager(fmt, rbits)
+        x, y = 1.0, 0.00390625  # d = 8 <= r, exact sum kept fully
+        ups = sum(adder.add(x, y, draw).trace.round_up
+                  for draw in range(1 << rbits))
+        expected = sr_probability(Fraction(x) + Fraction(y), fmt, rbits)
+        assert Fraction(ups, 1 << rbits) == expected
+
+    def test_zero_random_is_truncation(self):
+        """R = 0 never rounds up: SR(x; 0) == truncation of the kept sum."""
+        fmt = FPFormat(4, 3)
+        adder = FPAdderSRLazy(fmt, 6)
+        values = all_finite_values(fmt)
+        for x, y in itertools.product(values[::5], values[::5]):
+            result = adder.add(float(x), float(y), 0)
+            assert not result.trace.round_up
+
+
+class TestExpectationUnbiased:
+    def test_mean_error_small_over_draws(self, rng):
+        """Averaged over the full draw set the SR result is unbiased
+        (up to the r-bit floor quantization of the probability)."""
+        fmt = FPFormat(4, 3)
+        rbits = 7
+        adder = FPAdderSRLazy(fmt, rbits)
+        x, y = 1.0, 0.109375  # both representable; d = 3 <= r
+        total = 0.0
+        for draw in range(1 << rbits):
+            total += adder.add(x, y, draw).value
+        mean = total / (1 << rbits)
+        kept_sum = x + y  # d=3 <= r: no truncation
+        assert abs(mean - kept_sum) <= fmt.ulp(kept_sum) / (1 << rbits) + 1e-12
+
+
+class TestValidation:
+    def test_random_int_out_of_range_raises(self):
+        adder = FPAdderSRLazy(FP12_E6M5, 9)
+        with pytest.raises(ValueError):
+            adder.add(1.0, 1.0, 1 << 9)
+
+    def test_rbits_minimum_enforced(self):
+        with pytest.raises(ValueError):
+            FPAdderSRLazy(FP12_E6M5, 2)
+        with pytest.raises(ValueError):
+            FPAdderSREager(FP12_E6M5, 1)
+
+    def test_exact_results_not_rounded(self):
+        adder = FPAdderSRLazy(FP12_E6M5, 9)
+        for draw in (0, 100, 511):
+            assert adder.add(1.0, 1.0, draw).value == 2.0
+            assert adder.add(1.5, -0.5, draw).value == 1.0
+
+
+class TestSwampingBehavior:
+    """The motivating phenomenon: RN accumulation stagnates, SR does not."""
+
+    def test_rn_stagnates_sr_progresses(self):
+        from repro.rtl.adder_rn import FPAdderRN
+        from repro.prng.lfsr import GaloisLFSR
+
+        fmt = FP12_E6M5
+        rbits = 9
+        rn = FPAdderRN(fmt)
+        sr = FPAdderSRLazy(fmt, rbits)
+        lfsr = GaloisLFSR(rbits, seed=5)
+        increment = 1.0 * fmt.machine_eps / 4  # below RN's half-ulp at 1.0
+
+        acc_rn = 1.0
+        acc_sr = 1.0
+        steps = 2000
+        for _ in range(steps):
+            acc_rn = rn.add(acc_rn, increment).value
+            acc_sr = sr.add(acc_sr, increment, lfsr.next_value()).value
+        exact = 1.0 + steps * increment
+        assert acc_rn == 1.0  # complete stagnation
+        assert abs(acc_sr - exact) / exact < 0.25  # SR tracks the sum
+
+    def test_low_rbits_stagnate_too(self):
+        """r=4 cannot represent increments below 2^-4 ulp — the Table III
+        collapse mechanism."""
+        fmt = FP12_E6M5
+        sr = FPAdderSRLazy(fmt, 4)
+        from repro.prng.lfsr import GaloisLFSR
+
+        lfsr = GaloisLFSR(4, seed=3)
+        increment = fmt.machine_eps / 64  # eps_x = 1/64 < 2^-4
+        acc = 1.0
+        for _ in range(500):
+            acc = sr.add(acc, increment, lfsr.next_value()).value
+        assert acc == 1.0  # every step truncated: F = floor(frac * 16) = 0

@@ -1,0 +1,129 @@
+"""Structural claims of the paper encoded in the design netlists."""
+
+import pytest
+
+from repro.rtl.designs import (
+    build_adder_netlist,
+    build_mac_netlist,
+    build_multiplier_netlist,
+)
+from repro.rtl.mac import MACConfig, paper_table1_configs
+
+
+def _adder(rounding, subnormals=True, e=6, m=5, rbits=None):
+    if rbits is None:
+        rbits = 0 if rounding == "rn" else m + 4
+    return build_adder_netlist(MACConfig(e, m, rounding, subnormals, rbits))
+
+
+class TestEagerVsLazy:
+    """Sec. III-C2: eager outperforms lazy on every metric at every format."""
+
+    @pytest.mark.parametrize("e,m", [(8, 23), (5, 10), (8, 7), (6, 5)])
+    @pytest.mark.parametrize("subnormals", [True, False])
+    def test_eager_smaller_and_faster(self, e, m, subnormals):
+        lazy = _adder("sr_lazy", subnormals, e, m)
+        eager = _adder("sr_eager", subnormals, e, m)
+        assert eager.area_ge < lazy.area_ge
+        assert eager.delay_tau < lazy.delay_tau
+        assert eager.energy_weight < lazy.energy_weight
+
+    def test_lazy_normalization_is_wider(self):
+        """The paper's 'p + r versus p + 2' LZD/normalization claim."""
+        lazy = _adder("sr_lazy")
+        eager = _adder("sr_eager")
+        lazy_lzd = next(c for c in lazy.components() if c.kind == "lzd")
+        eager_lzd = next(c for c in eager.components() if c.kind == "lzd")
+        p = 6
+        assert lazy_lzd.width == p + 9  # p + r
+        assert eager_lzd.width == p + 2
+
+    def test_eager_sticky_round_off_critical_path(self):
+        eager = _adder("sr_eager")
+        for stage_name, comps in eager.stages:
+            names = [c.name for c in comps]
+            if "sticky_round" in names:
+                depths = {c.name: c.delay_tau for c in comps}
+                assert depths["sticky_round"] < depths["sig_add"]
+                break
+        else:
+            pytest.fail("sticky_round not found")
+
+
+class TestRoundingOverheads:
+    def test_sr_costs_more_than_rn(self):
+        rn = _adder("rn")
+        for rounding in ("sr_lazy", "sr_eager"):
+            sr = _adder(rounding)
+            assert sr.area_ge > rn.area_ge
+
+    def test_eager_delay_close_to_rn(self):
+        """Table I: eager delay is within a few percent of RN."""
+        rn = _adder("rn")
+        eager = _adder("sr_eager")
+        assert eager.delay_tau <= rn.delay_tau * 1.08
+
+    def test_area_grows_with_rbits(self):
+        """Table V: the r sweep has a positive area slope, flat delay."""
+        areas = []
+        delays = []
+        for rbits in (4, 7, 9, 11, 13):
+            net = _adder("sr_eager", False, rbits=rbits)
+            areas.append(net.area_ge)
+            delays.append(net.delay_tau)
+        assert areas == sorted(areas)
+        assert areas[-1] > areas[0]
+        assert max(delays) - min(delays) < 0.1 * delays[0]
+
+
+class TestSubnormalOverhead:
+    @pytest.mark.parametrize("rounding", ["rn", "sr_lazy", "sr_eager"])
+    def test_subnormal_support_costs_area(self, rounding):
+        with_sub = _adder(rounding, True)
+        without = _adder(rounding, False)
+        assert with_sub.area_ge > without.area_ge
+
+
+class TestFormatScaling:
+    def test_costs_monotone_in_format(self):
+        """E8M23 > E5M10 > E8M7 > E6M5 on area (Table I column order)."""
+        formats = [(8, 23), (5, 10), (8, 7), (6, 5)]
+        areas = [_adder("rn", True, e, m).area_ge for e, m in formats]
+        assert areas == sorted(areas, reverse=True)
+
+    def test_delay_dominated_by_significand_width(self):
+        wide = _adder("rn", True, 8, 23)
+        narrow = _adder("rn", True, 6, 5)
+        assert wide.delay_tau / narrow.delay_tau > 2.0
+
+
+class TestMACNetlist:
+    def test_mac_adds_multiplier_and_prng(self):
+        config = MACConfig(6, 5, "sr_eager", False, 9)
+        adder = build_adder_netlist(config)
+        mac = build_mac_netlist(config)
+        assert mac.area_ge > adder.area_ge
+        kinds = {c.kind for c in mac.components()}
+        assert "multiplier" in kinds
+        assert "lfsr" in kinds
+
+    def test_rn_mac_has_no_lfsr(self):
+        mac = build_mac_netlist(MACConfig(6, 5, "rn"))
+        assert "lfsr" not in {c.kind for c in mac.components()}
+
+    def test_lfsr_off_critical_path(self):
+        config = MACConfig(6, 5, "sr_eager", False, 9)
+        mac_net = build_mac_netlist(config)
+        prng_stages = [s for s, _ in mac_net.stages if "prng" in s]
+        assert prng_stages and all("off-path" in s for s in prng_stages)
+
+    def test_multiplier_netlist_standalone(self):
+        net = build_multiplier_netlist(MACConfig(6, 5, "rn"))
+        assert net.area_ge > 0
+        assert any(c.kind == "multiplier" for c in net.components())
+
+    def test_all_table1_netlists_elaborate(self):
+        for config in paper_table1_configs():
+            net = build_adder_netlist(config)
+            assert net.area_ge > 100
+            assert net.delay_tau > 10

@@ -1,0 +1,86 @@
+"""Tests for operand unpack/pack machinery."""
+
+import pytest
+
+from repro.fp.formats import FP12_E6M5, FPFormat
+from repro.rtl.fpcore import Operand, SpecialValue, pack, unpack
+
+
+class TestUnpack:
+    def test_normal_value(self):
+        op = unpack(1.5, FP12_E6M5)
+        assert op == Operand(1, 0, 0b110000)
+
+    def test_negative(self):
+        op = unpack(-2.0, FP12_E6M5)
+        assert op.sign == -1 and op.exp == 1 and op.sig == 32
+
+    def test_zero_is_none(self):
+        assert unpack(0.0, FP12_E6M5) is None
+        assert unpack(-0.0, FP12_E6M5) is None
+
+    def test_subnormal_with_support(self):
+        fmt = FP12_E6M5
+        op = unpack(fmt.min_subnormal * 3, fmt)
+        assert op.exp == fmt.emin and op.sig == 3
+
+    def test_subnormal_flushed_without_support(self):
+        fmt = FP12_E6M5.with_subnormals(False)
+        assert unpack(fmt.min_normal / 2, fmt) is None
+
+    def test_specials_raise_marker(self):
+        with pytest.raises(SpecialValue):
+            unpack(float("inf"), FP12_E6M5)
+        with pytest.raises(SpecialValue):
+            unpack(float("nan"), FP12_E6M5)
+
+    def test_unrepresentable_raises(self):
+        with pytest.raises(ValueError):
+            unpack(1.0 + 2 ** -20, FP12_E6M5)
+        with pytest.raises(ValueError):
+            unpack(1e30, FP12_E6M5)
+
+    def test_magnitude_key_orders_values(self):
+        fmt = FP12_E6M5
+        small = unpack(1.5, fmt)
+        big = unpack(2.0, fmt)
+        sub = unpack(fmt.min_subnormal, fmt)
+        assert big.magnitude_key() > small.magnitude_key()
+        assert small.magnitude_key() > sub.magnitude_key()
+
+
+class TestPack:
+    def test_roundtrip(self):
+        fmt = FP12_E6M5
+        op = unpack(-1.75, fmt)
+        assert pack(op.sign, op.exp, op.sig, fmt) == -1.75
+
+    def test_significand_overflow_carries(self):
+        fmt = FPFormat(4, 3)
+        # sig == 2**p -> renormalize with exponent bump
+        assert pack(1, 0, 16, fmt) == 2.0
+
+    def test_exponent_overflow_to_inf(self):
+        fmt = FPFormat(4, 3)
+        assert pack(1, fmt.emax + 1, 8, fmt) == float("inf")
+        assert pack(-1, fmt.emax + 1, 8, fmt) == float("-inf")
+
+    def test_carry_into_overflow(self):
+        fmt = FPFormat(4, 3)
+        assert pack(1, fmt.emax, 16, fmt) == float("inf")
+
+    def test_zero_sig(self):
+        assert pack(1, 0, 0, FP12_E6M5) == 0.0
+
+    def test_denormal_flushed_without_support(self):
+        fmt = FPFormat(4, 3, subnormals=False)
+        assert pack(1, fmt.emin, 3, fmt) == 0.0
+
+    def test_denormal_kept_with_support(self):
+        fmt = FPFormat(4, 3)
+        assert pack(1, fmt.emin, 3, fmt) == 3 * fmt.min_subnormal
+
+    def test_denormal_at_wrong_exponent_asserts(self):
+        fmt = FPFormat(4, 3)
+        with pytest.raises(AssertionError):
+            pack(1, 0, 3, fmt)

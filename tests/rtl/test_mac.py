@@ -1,0 +1,118 @@
+"""Tests for MACConfig and the assembled behavioral MAC unit."""
+
+import numpy as np
+import pytest
+
+from repro.fp.formats import FP8_E5M2
+from repro.fp.quantize import quantize
+from repro.rtl.adder_rn import FPAdderRN
+from repro.rtl.adder_sr_eager import FPAdderSREager
+from repro.rtl.adder_sr_lazy import FPAdderSRLazy
+from repro.rtl.mac import MACConfig, MACUnit, build_adder, paper_table1_configs
+
+
+class TestMACConfig:
+    def test_paper_default_rbits(self):
+        from repro.fp.formats import FP12_E6M5, FP16, FP32
+
+        assert MACConfig.paper_default(FP12_E6M5).rbits == 9
+        assert MACConfig.paper_default(FP16).rbits == 14
+        assert MACConfig.paper_default(FP32).rbits == 27
+
+    def test_rn_needs_no_rbits(self):
+        config = MACConfig(6, 5, "rn")
+        assert config.rbits == 0
+
+    def test_sr_requires_rbits(self):
+        with pytest.raises(ValueError):
+            MACConfig(6, 5, "sr_eager")
+
+    def test_unknown_rounding_rejected(self):
+        with pytest.raises(ValueError):
+            MACConfig(6, 5, "round_to_odd", rbits=9)
+
+    def test_label(self):
+        config = MACConfig(6, 5, "sr_eager", False, 9)
+        assert config.label == "SR eager W/O Sub E6M5"
+
+    def test_accumulator_format(self):
+        config = MACConfig(6, 5, "rn", subnormals=False)
+        fmt = config.accumulator_format
+        assert fmt.exponent_bits == 6 and not fmt.subnormals
+
+    def test_build_adder_dispatch(self):
+        assert isinstance(build_adder(MACConfig(6, 5, "rn")), FPAdderRN)
+        assert isinstance(build_adder(MACConfig(6, 5, "sr_lazy", rbits=9)),
+                          FPAdderSRLazy)
+        assert isinstance(build_adder(MACConfig(6, 5, "sr_eager", rbits=9)),
+                          FPAdderSREager)
+
+
+class TestTable1Configs:
+    def test_row_count_and_order(self):
+        configs = paper_table1_configs()
+        assert len(configs) == 24
+        assert configs[0].rounding == "rn" and configs[0].subnormals
+        assert configs[-1].rounding == "sr_eager" and not configs[-1].subnormals
+
+    def test_sr_rows_use_p_plus_3(self):
+        for config in paper_table1_configs():
+            if config.rounding != "rn":
+                assert config.rbits == config.precision + 3
+
+
+class TestMACUnit:
+    def test_exact_small_dot_product(self):
+        mac = MACUnit(MACConfig(6, 5, "rn"))
+        result = mac.dot([1.0, 2.0, -0.5], [1.0, 0.5, 2.0])
+        assert result == 1.0 + 1.0 - 1.0
+
+    def test_accumulator_stays_in_format(self, rng):
+        config = MACConfig(6, 5, "sr_eager", False, 9)
+        mac = MACUnit(config, seed=3)
+        fmt = config.accumulator_format
+        values = quantize(rng.normal(size=40), FP8_E5M2)
+        weights = quantize(rng.normal(size=40), FP8_E5M2)
+        mac.reset()
+        for a, b in zip(values, weights):
+            mac.step(float(a), float(b))
+            acc = mac.accumulator
+            if np.isfinite(acc) and acc != 0.0:
+                requantized = quantize(np.array([acc]), fmt, "toward_zero")[0]
+                assert requantized == acc  # already on the grid
+
+    def test_rejects_too_small_accumulator(self):
+        with pytest.raises(ValueError):
+            MACUnit(MACConfig(5, 2, "rn"))  # cannot hold E6M5 products
+
+    def test_lfsr_draws_advance(self):
+        mac = MACUnit(MACConfig(6, 5, "sr_eager", True, 9), seed=1)
+        first = mac.lfsr.state
+        mac.step(1.0, 1.0)
+        assert mac.lfsr.state != first
+
+    def test_rn_unit_has_no_lfsr(self):
+        assert MACUnit(MACConfig(6, 5, "rn")).lfsr is None
+
+    def test_deterministic_given_seed(self, rng):
+        values = quantize(rng.normal(size=30), FP8_E5M2)
+        weights = quantize(rng.normal(size=30), FP8_E5M2)
+        config = MACConfig(6, 5, "sr_lazy", True, 9)
+        a = MACUnit(config, seed=5).dot(values, weights)
+        b = MACUnit(config, seed=5).dot(values, weights)
+        assert a == b
+
+    def test_sr_dot_close_to_exact(self, rng):
+        values = quantize(rng.normal(size=64), FP8_E5M2)
+        weights = quantize(rng.normal(size=64), FP8_E5M2)
+        exact = float(np.dot(values, weights))
+        config = MACConfig(6, 5, "sr_eager", False, 9)
+        got = MACUnit(config, seed=7).dot(values, weights)
+        scale = max(1.0, abs(exact))
+        assert abs(got - exact) / scale < 0.2
+
+    def test_reset(self):
+        mac = MACUnit(MACConfig(6, 5, "rn"))
+        mac.step(1.0, 1.0)
+        mac.reset(2.0)
+        assert mac.accumulator == 2.0

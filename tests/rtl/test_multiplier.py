@@ -1,0 +1,99 @@
+"""The exact multiplier: exhaustive exactness over all FP8 pairs."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.fp.encode import all_finite_values
+from repro.fp.formats import FP8_E4M3, FP8_E5M2, FPFormat
+from repro.rtl.multiplier import ExactMultiplier, product_format
+
+
+class TestProductFormat:
+    def test_e5m2_gives_e6m5(self):
+        out = product_format(FP8_E5M2)
+        assert out.exponent_bits == 6
+        assert out.mantissa_bits == 5
+        assert out.name == "E6M5"
+
+    def test_e4m3_gives_e5m7(self):
+        out = product_format(FP8_E4M3)
+        assert out.exponent_bits == 5
+        assert out.mantissa_bits == 7
+
+    def test_subnormal_flag_propagates(self):
+        fz = FP8_E5M2.with_subnormals(False)
+        assert not product_format(fz).subnormals
+
+
+class TestExhaustiveExactness:
+    """Sec. III a): "The multiplier results are exact"."""
+
+    def test_every_fp8_product_is_exact(self):
+        multiplier = ExactMultiplier(FP8_E5M2)
+        values = all_finite_values(FP8_E5M2)
+        for x, y in itertools.product(values, values):
+            got = multiplier.multiply(float(x), float(y))
+            assert got == float(x) * float(y), (x, y)
+
+    def test_every_product_representable_in_output_format(self):
+        from repro.rtl.fpcore import unpack
+
+        multiplier = ExactMultiplier(FP8_E5M2)
+        out_fmt = multiplier.output_format
+        values = all_finite_values(FP8_E5M2, positive_only=True)
+        for x, y in itertools.product(values, values):
+            product = multiplier.multiply(float(x), float(y))
+            if product == 0.0:
+                continue
+            unpack(product, out_fmt)  # raises if not representable
+
+    def test_no_subnormal_inputs_flushed(self):
+        fz = FP8_E5M2.with_subnormals(False)
+        multiplier = ExactMultiplier(fz)
+        tiny = FP8_E5M2.min_subnormal * 2
+        assert multiplier.multiply(tiny, 1.0) == 0.0
+
+    def test_no_sub_products_never_underflow_output(self):
+        """Without subnormals the smallest product 2^-14 * 2^-14 = 2^-28
+        still sits above the E6M5 normal floor 2^-30 — no-sub MACs never
+        lose products to output flushing."""
+        fz = FP8_E5M2.with_subnormals(False)
+        multiplier = ExactMultiplier(fz)
+        smallest = multiplier.multiply(fz.min_normal, fz.min_normal)
+        assert smallest == 2.0 ** -28
+        assert smallest >= multiplier.output_format.min_normal
+
+    def test_subnormal_products_exact_with_support(self):
+        """With subnormals, even min_subnormal^2 = 2^-32 is exactly
+        representable as an E6M5 subnormal (granularity 2^-35)."""
+        multiplier = ExactMultiplier(FP8_E5M2)
+        tiny = FP8_E5M2.min_subnormal
+        assert multiplier.multiply(tiny, tiny) == 2.0 ** -32
+        assert multiplier.multiply(tiny, 3 * tiny) == 3 * 2.0 ** -32
+
+
+class TestSpecials:
+    @pytest.fixture
+    def multiplier(self):
+        return ExactMultiplier(FP8_E5M2)
+
+    def test_nan_propagates(self, multiplier):
+        assert math.isnan(multiplier.multiply(float("nan"), 1.0))
+
+    def test_inf_times_zero_is_nan(self, multiplier):
+        assert math.isnan(multiplier.multiply(float("inf"), 0.0))
+        assert math.isnan(multiplier.multiply(-0.0, float("-inf")))
+
+    def test_inf_times_finite(self, multiplier):
+        assert multiplier.multiply(float("inf"), 2.0) == float("inf")
+        assert multiplier.multiply(float("inf"), -2.0) == float("-inf")
+        assert multiplier.multiply(-1.5, float("-inf")) == float("inf")
+
+    def test_zero_products_signed(self, multiplier):
+        assert math.copysign(1.0, multiplier.multiply(-1.0, 0.0)) == -1.0
+        assert math.copysign(1.0, multiplier.multiply(0.0, 2.0)) == 1.0
+
+    def test_callable(self, multiplier):
+        assert multiplier(2.0, 3.0) == 6.0

@@ -1,0 +1,62 @@
+"""ASIC technology model tests."""
+
+import pytest
+
+from repro.rtl.components import register, ripple_adder
+from repro.rtl.designs import build_adder_netlist
+from repro.rtl.mac import MACConfig
+from repro.rtl.netlist import Netlist
+from repro.synth.asic import AsicTech, SynthReport
+
+
+def _toy_netlist():
+    net = Netlist("toy")
+    net.stage("a", [ripple_adder("add", 8)])
+    net.stage("r", [register("reg", 8)])
+    return net
+
+
+class TestSynthesize:
+    def test_report_fields(self):
+        report = AsicTech().synthesize(_toy_netlist())
+        assert isinstance(report, SynthReport)
+        assert report.area_um2 > 0
+        assert report.delay_ns > 0
+        assert report.energy_nw_mhz > 0
+        assert report.name == "toy"
+
+    def test_linear_in_scales(self):
+        net = _toy_netlist()
+        base = AsicTech().synthesize(net)
+        doubled = AsicTech(
+            area_um2_per_ge=2 * AsicTech().area_um2_per_ge
+        ).synthesize(net)
+        assert doubled.area_um2 == pytest.approx(2 * base.area_um2)
+        assert doubled.delay_ns == pytest.approx(base.delay_ns)
+
+    def test_as_tuple_order(self):
+        report = AsicTech().synthesize(_toy_netlist())
+        energy, area, delay = report.as_tuple()
+        assert energy == report.energy_nw_mhz
+        assert area == report.area_um2
+        assert delay == report.delay_ns
+
+
+class TestCalibration:
+    def test_calibrated_hits_targets_exactly(self):
+        net = build_adder_netlist(MACConfig(8, 23, "rn", True, 0))
+        tech = AsicTech().calibrated(net, area_um2=1404.01, delay_ns=4.71,
+                                     energy_nw_mhz=1.17)
+        report = tech.synthesize(net)
+        assert report.area_um2 == pytest.approx(1404.01)
+        assert report.delay_ns == pytest.approx(4.71)
+        assert report.energy_nw_mhz == pytest.approx(1.17)
+
+    def test_calibration_preserves_ratios(self):
+        net_a = build_adder_netlist(MACConfig(8, 23, "rn", True, 0))
+        net_b = build_adder_netlist(MACConfig(6, 5, "rn", True, 0))
+        raw = AsicTech()
+        cal = raw.calibrated(net_a, 1404.01, 4.71, 1.17)
+        raw_ratio = raw.synthesize(net_a).area_um2 / raw.synthesize(net_b).area_um2
+        cal_ratio = cal.synthesize(net_a).area_um2 / cal.synthesize(net_b).area_um2
+        assert cal_ratio == pytest.approx(raw_ratio)

@@ -1,0 +1,88 @@
+"""The calibrated models must reproduce the paper's qualitative claims."""
+
+import pytest
+
+from repro.experiments import records
+from repro.rtl.designs import build_adder_netlist
+from repro.synth import calibrated_asic_tech, config_from_key
+
+
+def _synthesize_all():
+    tech = calibrated_asic_tech()
+    results = {}
+    for key in records.TABLE1:
+        net = build_adder_netlist(config_from_key(key))
+        results[key] = tech.synthesize(net)
+    return results
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return _synthesize_all()
+
+
+class TestAnchor:
+    def test_anchor_row_exact(self, table1):
+        anchor = records.TABLE1_ANCHOR
+        row = records.TABLE1[anchor]
+        report = table1[anchor]
+        assert report.area_um2 == pytest.approx(row.area_um2)
+        assert report.delay_ns == pytest.approx(row.delay_ns)
+        assert report.energy_nw_mhz == pytest.approx(row.energy_nw_mhz)
+
+
+class TestQualitativeClaims:
+    def test_eager_beats_lazy_everywhere(self, table1):
+        for key in records.TABLE1:
+            rounding, sub, e, m, r = key
+            if rounding != "sr_lazy":
+                continue
+            eager_key = ("sr_eager", sub, e, m, r)
+            assert table1[eager_key].area_um2 < table1[key].area_um2
+            assert table1[eager_key].delay_ns < table1[key].delay_ns
+            assert table1[eager_key].energy_nw_mhz < table1[key].energy_nw_mhz
+
+    def test_removing_subnormals_saves_area(self, table1):
+        for key in records.TABLE1:
+            rounding, sub, e, m, r = key
+            if not sub:
+                continue
+            nosub_key = (rounding, False, e, m, r)
+            assert table1[nosub_key].area_um2 < table1[key].area_um2
+
+    def test_costs_monotone_in_format(self, table1):
+        order = [(8, 23), (5, 10), (8, 7), (6, 5)]
+        for rounding in ("rn", "sr_lazy", "sr_eager"):
+            for sub in (True, False):
+                areas = []
+                for e, m in order:
+                    r = 0 if rounding == "rn" else m + 4
+                    areas.append(table1[(rounding, sub, e, m, r)].area_um2)
+                assert areas == sorted(areas, reverse=True)
+
+    def test_quantitative_agreement_within_tolerance(self, table1):
+        """Every predicted row lands within 25% of the published value."""
+        for key, row in records.TABLE1.items():
+            report = table1[key]
+            assert report.area_um2 == pytest.approx(row.area_um2, rel=0.25)
+            assert report.delay_ns == pytest.approx(row.delay_ns, rel=0.25)
+            assert report.energy_nw_mhz == pytest.approx(row.energy_nw_mhz,
+                                                         rel=0.30)
+
+
+class TestHeadlineClaims:
+    """Sec. IV-C: the 12-bit eager SR design vs FP32/FP16 references."""
+
+    def test_roughly_half_of_fp32(self, table1):
+        eager = table1[("sr_eager", False, 6, 5, 9)]
+        fp32 = table1[("rn", True, 8, 23, 0)]
+        assert eager.delay_ns < 0.62 * fp32.delay_ns
+        assert eager.area_um2 < 0.62 * fp32.area_um2
+        assert eager.energy_nw_mhz < 0.62 * fp32.energy_nw_mhz
+
+    def test_beats_fp16_rn(self, table1):
+        eager = table1[("sr_eager", False, 6, 5, 9)]
+        fp16 = table1[("rn", True, 5, 10, 0)]
+        assert eager.delay_ns < fp16.delay_ns * 0.85
+        assert eager.area_um2 < fp16.area_um2 * 0.92
+        assert eager.energy_nw_mhz < fp16.energy_nw_mhz * 0.92

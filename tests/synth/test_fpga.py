@@ -1,0 +1,66 @@
+"""FPGA technology model tests."""
+
+import pytest
+
+from repro.rtl.components import (
+    barrel_shifter,
+    lfsr,
+    register,
+    ripple_adder,
+)
+from repro.rtl.designs import build_adder_netlist
+from repro.rtl.mac import MACConfig
+from repro.rtl.netlist import Netlist
+from repro.synth.fpga import FpgaTech, component_luts
+
+
+class TestComponentLuts:
+    def test_carry_chain_one_lut_per_bit(self):
+        assert component_luts(ripple_adder("a", 16)) == 16
+
+    def test_shifter_two_muxes_per_lut(self):
+        comp = barrel_shifter("b", 8, 8)
+        assert component_luts(comp) == comp.gates["mux2"] / 2
+
+    def test_registers_no_luts(self):
+        assert component_luts(register("r", 16)) == 0
+
+    def test_lfsr_feedback_only(self):
+        comp = lfsr("f", 13, taps=4)
+        assert component_luts(comp) == 2  # 4 xor / 2
+
+
+class TestImplement:
+    def test_ff_count_includes_registers(self):
+        net = Netlist("n")
+        net.stage("r", [register("in", 24), register("out", 12)])
+        report = FpgaTech(extra_ffs=0).implement(net)
+        assert report.ffs == 36
+
+    def test_delay_has_floor(self):
+        net = Netlist("empty")
+        report = FpgaTech().implement(net)
+        assert report.delay_ns == pytest.approx(FpgaTech().delay_t0_ns)
+
+
+class TestCalibration:
+    def test_calibrated_hits_anchor(self):
+        net = build_adder_netlist(MACConfig(5, 10, "rn", True, 0))
+        tech = FpgaTech().calibrated(net, luts=302, ffs=49, delay_ns=8.30)
+        report = tech.implement(net)
+        assert report.luts == pytest.approx(302)
+        assert report.ffs == pytest.approx(49)
+        assert report.delay_ns == pytest.approx(8.30)
+
+    def test_table2_orderings(self):
+        """Eager uses fewer LUTs and less delay than lazy (Table II)."""
+        from repro.synth import calibrated_fpga_tech
+
+        tech = calibrated_fpga_tech()
+        lazy = tech.implement(
+            build_adder_netlist(MACConfig(6, 5, "sr_lazy", False, 13)))
+        eager = tech.implement(
+            build_adder_netlist(MACConfig(6, 5, "sr_eager", False, 13)))
+        assert eager.luts < lazy.luts
+        assert eager.delay_ns < lazy.delay_ns
+        assert eager.ffs == lazy.ffs  # same staging registers

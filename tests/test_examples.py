@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "stagnated" in out
+    assert "P(round up)" in out
+
+
+def test_hardware_report():
+    out = _run("hardware_report.py")
+    assert "Table I" in out and "Table V" in out
+    assert "netlist" in out
+
+
+def test_train_resnet_minimal():
+    out = _run("train_resnet.py", "--epochs", "1", "--width", "4",
+               "--n-train", "128")
+    assert "final accuracy" in out
+    assert "SR E6M5" in out
+
+
+def test_sweep_random_bits_minimal():
+    out = _run("sweep_random_bits.py", "--epochs", "1", "--n-train", "128",
+               timeout=360)
+    assert "accuracy %" in out
+    assert "FP32 RN" in out
+
+
+def test_stagnation_analysis():
+    out = _run("stagnation_analysis.py")
+    assert "stagnation threshold" in out
+    assert "truncation" in out
+
+
+@pytest.mark.slow
+def test_eager_vs_lazy():
+    out = _run("eager_vs_lazy.py", timeout=480)
+    assert "0 eager/lazy mismatches" in out
+    assert "PASS" in out

@@ -1,0 +1,118 @@
+"""Cross-module integration tests: the full pipeline end to end."""
+
+import numpy as np
+import pytest
+
+from repro.data import loaders_for, make_cifar10_like
+from repro.emu import GemmConfig, QuantizedGemm
+from repro.fp.formats import FP12_E6M5, FP16
+from repro.models import MLP, SimpleCNN
+from repro.nn import Trainer
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return make_cifar10_like(n_train=256, n_test=96, image_size=8, seed=0)
+
+
+def _train(model_factory, gemm_config, dataset, epochs=5, lr=0.08):
+    gemm = QuantizedGemm(gemm_config) if gemm_config is not None else None
+    model = model_factory(gemm)
+    train_loader, test_loader = loaders_for(dataset, batch_size=128, seed=0)
+    trainer = Trainer(model, lr=lr, epochs=epochs, weight_decay=1e-4)
+    return trainer.fit(train_loader, test_loader)
+
+
+class TestEndToEndTraining:
+    """Every Table III configuration kind trains above chance."""
+
+    @pytest.mark.parametrize("config_name,config", [
+        ("fp32", None),
+        ("rn_fp16", GemmConfig.rn(FP16)),
+        ("rn_e6m5", GemmConfig.rn(FP12_E6M5)),
+        ("sr_r9_sub", GemmConfig.sr(9, subnormals=True, seed=3)),
+        ("sr_r13_nosub", GemmConfig.sr(13, subnormals=False, seed=3)),
+    ])
+    def test_mlp_trains_above_chance(self, tiny_dataset, config_name, config):
+        result = _train(
+            lambda g: MLP(3 * 8 * 8, [48, 24], 10, gemm=g, seed=1),
+            config, tiny_dataset,
+        )
+        assert result.final_accuracy > 0.14  # chance is 0.10
+
+    def test_quantized_cnn_trains(self, tiny_dataset):
+        result = _train(
+            lambda g: SimpleCNN(10, width=4, gemm=g, seed=1),
+            GemmConfig.sr(11, subnormals=False, seed=3),
+            tiny_dataset, epochs=5,
+        )
+        # A width-4 CNN on 256 samples learns slowly; the integration
+        # check is that the quantized pipeline makes progress at all.
+        assert result.final_accuracy > 0.08
+        assert result.history[-1].train_loss < result.history[0].train_loss
+        assert all(np.isfinite(s.train_loss) for s in result.history)
+
+    def test_loss_scaler_engages_without_divergence(self, tiny_dataset):
+        result = _train(
+            lambda g: MLP(3 * 8 * 8, [32], 10, gemm=g, seed=1),
+            GemmConfig.sr(9, subnormals=False, seed=3),
+            tiny_dataset, epochs=3,
+        )
+        final = result.history[-1]
+        assert final.loss_scale >= 1.0
+        assert final.skipped_steps < 10
+
+
+class TestHardwareSoftwareConsistency:
+    """The cost model and the behavioral model describe the same design."""
+
+    def test_rbits_consistency(self):
+        from repro.rtl import MACConfig, MACUnit, build_adder_netlist
+
+        config = MACConfig(6, 5, "sr_eager", False, 9)
+        unit = MACUnit(config, seed=0)
+        netlist = build_adder_netlist(config)
+        assert unit.lfsr.width == config.rbits
+        staging = [c for c in netlist.components()
+                   if c.kind == "random_staging"]
+        assert staging and staging[0].width == config.rbits
+
+    def test_gemm_emulation_matches_eager_unit_statistics(self, rng):
+        """Emulated GEMM and the scalar eager MAC agree in distribution:
+        same inputs, same format -> means within Monte Carlo noise."""
+        from repro.fp.quantize import quantize
+        from repro.fp.formats import FP8_E5M2
+        from repro.emu import matmul
+        from repro.rtl import MACConfig, MACUnit
+
+        a = quantize(rng.normal(size=24), FP8_E5M2)
+        b = quantize(rng.normal(size=24), FP8_E5M2)
+        gemm_samples = [
+            matmul(a.reshape(1, -1), b.reshape(-1, 1),
+                   GemmConfig.sr(9, subnormals=False, seed=s))[0, 0]
+            for s in range(60)
+        ]
+        mac_samples = [
+            MACUnit(MACConfig(6, 5, "sr_eager", False, 9), seed=s).dot(a, b)
+            for s in range(1, 61)
+        ]
+        assert np.mean(gemm_samples) == pytest.approx(
+            np.mean(mac_samples), abs=0.08)
+
+
+class TestDeterminism:
+    """Whole-pipeline reproducibility given fixed seeds."""
+
+    def test_training_run_is_reproducible(self, tiny_dataset):
+        def run():
+            return _train(
+                lambda g: MLP(3 * 8 * 8, [32], 10, gemm=g, seed=1),
+                GemmConfig.sr(9, subnormals=False, seed=7),
+                tiny_dataset, epochs=2,
+            )
+
+        first = run()
+        second = run()
+        assert [s.train_loss for s in first.history] == \
+            [s.train_loss for s in second.history]
+        assert first.final_accuracy == second.final_accuracy
