@@ -1,0 +1,120 @@
+"""Accumulation-engine wall-clock: seed path vs fused vs alternatives.
+
+Run standalone for the perf-trajectory JSON on the full 256x256x256 SR
+GEMM (the acceptance benchmark for the fused sequential engine)::
+
+    PYTHONPATH=src python benchmarks/bench_engines.py
+    PYTHONPATH=src python benchmarks/bench_engines.py --json engines.json
+
+Like the sibling bench files, the pytest-benchmark variant (reduced
+64^3) is collected only when the file is passed explicitly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engines.py
+"""
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.emu import GemmConfig, matmul, reference_matmul
+
+RBITS = 9
+SEED = 3
+
+
+def _config(accum_order="sequential"):
+    return GemmConfig.sr(RBITS, seed=SEED, accum_order=accum_order)
+
+
+def _time(fn, *args, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_benchmark(size=256, repeats=3):
+    """Time every engine (plus the seed path) on one SR GEMM."""
+    rng = np.random.default_rng(7)
+    a = rng.normal(size=(size, size))
+    b = rng.normal(size=(size, size))
+
+    variants = {
+        "seed_path": lambda: reference_matmul(a, b, _config()),
+        "sequential_fused": lambda: matmul(a, b, _config()),
+        "pairwise": lambda: matmul(a, b, _config("pairwise")),
+        "chunked(32)": lambda: matmul(a, b, _config("chunked(32)")),
+    }
+    results = {}
+    for name, fn in variants.items():
+        fn()  # warm-up: page in buffers, JIT-free but cache-warm
+        results[name] = _time(fn, repeats=repeats)
+
+    macs = size ** 3
+    report = {
+        "benchmark": "sr_gemm",
+        "shape": [size, size, size],
+        "rbits": RBITS,
+        "seconds": results,
+        "mac_rate_mhz": {name: macs / t / 1e6
+                         for name, t in results.items()},
+        "speedup_vs_seed": {name: results["seed_path"] / t
+                            for name, t in results.items()},
+    }
+    return report
+
+
+class TestEngineWallClock:
+    """Reduced-size engine comparison wired into pytest-benchmark."""
+
+    @pytest.fixture(scope="class")
+    def operands(self):
+        rng = np.random.default_rng(7)
+        return rng.normal(size=(64, 64)), rng.normal(size=(64, 64))
+
+    def test_seed_path(self, benchmark, operands):
+        a, b = operands
+        benchmark(lambda: reference_matmul(a, b, _config()))
+
+    def test_sequential_fused(self, benchmark, operands):
+        a, b = operands
+        benchmark(lambda: matmul(a, b, _config()))
+
+    def test_pairwise(self, benchmark, operands):
+        a, b = operands
+        benchmark(lambda: matmul(a, b, _config("pairwise")))
+
+    def test_chunked(self, benchmark, operands):
+        a, b = operands
+        benchmark(lambda: matmul(a, b, _config("chunked(32)")))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=256,
+                        help="GEMM dimension (M=K=N)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats (best-of)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the JSON report to this file")
+    args = parser.parse_args(argv)
+    report = run_benchmark(args.size, args.repeats)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(text + "\n")
+    speedup = report["speedup_vs_seed"]["sequential_fused"]
+    print(f"\nfused sequential speedup vs seed path: {speedup:.2f}x",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,40 @@
 """Bit-accurate, vectorized MAC/GEMM emulation for DNN training."""
 
 from .config import GemmConfig, paper_table3_config
-from .gemm import QuantizedGemm, cast_inputs, dot, matmul, sum_reduce
+from .engine import (
+    AccumulationEngine,
+    ChunkedEngine,
+    ENGINES,
+    PairwiseEngine,
+    SequentialEngine,
+    available_orders,
+    get_engine,
+)
+from .gemm import (
+    QuantizedGemm,
+    cast_inputs,
+    dot,
+    matmul,
+    matmul_batched,
+    reference_matmul,
+    sum_reduce,
+)
 
 __all__ = [
     "GemmConfig",
     "paper_table3_config",
     "QuantizedGemm",
     "matmul",
+    "matmul_batched",
+    "reference_matmul",
     "dot",
     "sum_reduce",
     "cast_inputs",
+    "AccumulationEngine",
+    "SequentialEngine",
+    "PairwiseEngine",
+    "ChunkedEngine",
+    "ENGINES",
+    "get_engine",
+    "available_orders",
 ]

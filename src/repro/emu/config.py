@@ -45,6 +45,13 @@ class GemmConfig:
     saturate:
         Clamp accumulator overflow to the max finite value instead of
         producing infinities.
+    accum_order:
+        Accumulation-engine name from :mod:`repro.emu.engine` —
+        ``"sequential"`` (the paper's MAC chain, fused hot path),
+        ``"pairwise"`` (adder tree) or ``"chunked(c)"`` (blocked
+        accumulator with exact width-``c`` partial sums).  Ignored when
+        ``per_step`` is false (the reduction is then exact by
+        definition).
     """
 
     mul_format: Optional[FPFormat] = None
@@ -54,6 +61,7 @@ class GemmConfig:
     per_step: bool = True
     stream: RandomBitStream = field(default_factory=SoftwareStream)
     saturate: bool = False
+    accum_order: str = "sequential"
 
     @property
     def is_exact(self) -> bool:
@@ -67,9 +75,11 @@ class GemmConfig:
         acc = self.acc_format.name if self.acc_format else "exact"
         sub = "" if self.acc_format is None or self.acc_format.subnormals \
             else " w/o sub"
+        order = "" if self.accum_order == "sequential" \
+            else f" [{self.accum_order}]"
         if self.rounding == "stochastic":
-            return f"SR {acc} r={self.rbits}{sub}"
-        return f"RN {acc}{sub}"
+            return f"SR {acc} r={self.rbits}{sub}{order}"
+        return f"RN {acc}{sub}{order}"
 
     # ------------------------------------------------------------------
     # Paper configurations (Tables III / IV rows)
@@ -80,18 +90,20 @@ class GemmConfig:
 
     @classmethod
     def rn(cls, acc_format: FPFormat, *, subnormals: bool = True,
-           mul_format: FPFormat = FP8_E5M2) -> "GemmConfig":
+           mul_format: FPFormat = FP8_E5M2,
+           accum_order: str = "sequential") -> "GemmConfig":
         """RN accumulation in the given format (e.g. FP16, BF16, E6M5)."""
         return cls(
             mul_format=mul_format,
             acc_format=acc_format.with_subnormals(subnormals),
             rounding="nearest",
+            accum_order=accum_order,
         )
 
     @classmethod
     def sr(cls, rbits: int, *, acc_format: FPFormat = FP12_E6M5,
            subnormals: bool = True, mul_format: FPFormat = FP8_E5M2,
-           seed: int = 0) -> "GemmConfig":
+           seed: int = 0, accum_order: str = "sequential") -> "GemmConfig":
         """SR accumulation with ``r`` random bits (the paper's design)."""
         return cls(
             mul_format=mul_format,
@@ -99,28 +111,36 @@ class GemmConfig:
             rounding="stochastic",
             rbits=rbits,
             stream=SoftwareStream(seed),
+            accum_order=accum_order,
         )
 
 
 #: Named presets matching the evaluation tables.
 def paper_table3_config(row_kind: str, rbits: Optional[int] = None,
-                        subnormals: bool = True, seed: int = 0) -> GemmConfig:
+                        subnormals: bool = True, seed: int = 0,
+                        accum_order: str = "sequential") -> GemmConfig:
     """Build the GEMM config for a Table III row kind.
 
-    ``row_kind`` in {"baseline", "rn_fp16", "rn_bf16", "rn_e6m5", "sr"}.
+    ``row_kind`` in {"baseline", "rn_fp16", "rn_bf16", "rn_e6m5", "sr"};
+    ``accum_order`` selects the accumulation engine for datapath
+    ablations (ignored by the exact baseline).
     """
     from ..fp.formats import BF16
 
     if row_kind == "baseline":
         return GemmConfig.fp32_baseline()
     if row_kind == "rn_fp16":
-        return GemmConfig.rn(FP16, subnormals=subnormals)
+        return GemmConfig.rn(FP16, subnormals=subnormals,
+                             accum_order=accum_order)
     if row_kind == "rn_bf16":
-        return GemmConfig.rn(BF16, subnormals=subnormals)
+        return GemmConfig.rn(BF16, subnormals=subnormals,
+                             accum_order=accum_order)
     if row_kind == "rn_e6m5":
-        return GemmConfig.rn(FP12_E6M5, subnormals=subnormals)
+        return GemmConfig.rn(FP12_E6M5, subnormals=subnormals,
+                             accum_order=accum_order)
     if row_kind == "sr":
         if rbits is None:
             raise ValueError("SR rows need rbits")
-        return GemmConfig.sr(rbits, subnormals=subnormals, seed=seed)
+        return GemmConfig.sr(rbits, subnormals=subnormals, seed=seed,
+                             accum_order=accum_order)
     raise ValueError(f"unknown row kind {row_kind!r}")

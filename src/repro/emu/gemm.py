@@ -9,13 +9,17 @@ matrix product of the training loop runs through :func:`matmul`, which
 2. forms exact products — exact by construction, since the product of two
    ``pm``-bit significands fits the ``2 pm``-bit accumulator significand
    (verified exhaustively in the test suite);
-3. accumulates sequentially over the reduction dimension, rounding the
-   running sum into the accumulator format after every step with RN or
-   r-bit SR, exactly like the hardware MAC.
+3. accumulates over the reduction dimension under the configured
+   *accumulation engine* (:mod:`repro.emu.engine`): the default
+   ``sequential`` engine rounds the running sum after every step with RN
+   or r-bit SR, exactly like the hardware MAC; ``pairwise`` and
+   ``chunked(c)`` model adder-tree and blocked datapaths.
 
-The inner loop is vectorized over the output matrix: one reduction step
-updates all ``M x N`` accumulators at once, so the Python-level loop runs
-only ``K`` times.
+Batched operands are first-class: :func:`matmul_batched` accumulates
+``(B, M, K) @ (B, K, N)`` stacks, and :func:`matmul` is its ``B=1``
+view.  The fused sequential engine is the hot path; the original
+unfused per-step loop is kept as :func:`reference_matmul` for
+equivalence tests and benchmarks.
 
 Numerical note: accumulator values are exactly representable in float64
 (their significands have at most ``2 pm`` bits) and each product is too,
@@ -25,13 +29,29 @@ no double rounding occurs anywhere in the pipeline.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
-from ..fp.fastquant import quantize_fast
 from ..fp.quantize import quantize
 from .config import GemmConfig
+from .engine import get_engine, round_partial
+
+
+def _cast_one(x: np.ndarray, config: GemmConfig) -> np.ndarray:
+    """RN-cast one operand, quantizing a stride-0 batch only once.
+
+    Batched layers broadcast a shared weight to ``(B, K, N)``; casting
+    the base slice and re-broadcasting avoids B-fold quantization work
+    and temporaries (the cast is elementwise and deterministic, so the
+    result is identical).
+    """
+    if x.ndim == 3 and x.shape[0] > 1 and x.strides[0] == 0:
+        base = quantize(x[0], config.mul_format, "nearest",
+                        saturate=config.saturate)
+        return np.broadcast_to(base, x.shape)
+    return quantize(x, config.mul_format, "nearest",
+                    saturate=config.saturate)
 
 
 def cast_inputs(a: np.ndarray, b: np.ndarray,
@@ -39,11 +59,33 @@ def cast_inputs(a: np.ndarray, b: np.ndarray,
     """Cast GEMM inputs to the multiplier format (round-to-nearest)."""
     if config.mul_format is None:
         return np.asarray(a, np.float64), np.asarray(b, np.float64)
-    fmt = config.mul_format
-    return (
-        quantize(a, fmt, "nearest", saturate=config.saturate),
-        quantize(b, fmt, "nearest", saturate=config.saturate),
-    )
+    return _cast_one(a, config), _cast_one(b, config)
+
+
+def matmul_batched(a: np.ndarray, b: np.ndarray, config: GemmConfig,
+                   *, cast: bool = True) -> np.ndarray:
+    """Emulated batched ``a @ b`` through the low-precision datapath.
+
+    ``a`` is ``(B, M, K)``, ``b`` is ``(B, K, N)``; returns
+    ``(B, M, N)`` float64 holding accumulator-format values (or the
+    exact product for the baseline config).  Set ``cast=False`` if the
+    inputs are already in the multiplier format.  The accumulation order
+    is selected by ``config.accum_order``.
+    """
+    a = np.asarray(a, np.float64)
+    b = np.asarray(b, np.float64)
+    if (a.ndim != 3 or b.ndim != 3 or a.shape[0] != b.shape[0]
+            or a.shape[2] != b.shape[1]):
+        raise ValueError(f"bad batched GEMM shapes {a.shape} x {b.shape}")
+    if cast:
+        a, b = cast_inputs(a, b, config)
+    if config.acc_format is None:
+        return a @ b
+    if not config.per_step:
+        # Swamping-free ablation: exact reduction, rounded once —
+        # independent of the accumulation order.
+        return round_partial(a @ b, config)
+    return get_engine(config.accum_order).gemm(a, b, config)
 
 
 def matmul(a: np.ndarray, b: np.ndarray, config: GemmConfig,
@@ -53,7 +95,24 @@ def matmul(a: np.ndarray, b: np.ndarray, config: GemmConfig,
     ``a`` is ``(M, K)``, ``b`` is ``(K, N)``; returns ``(M, N)`` float64
     holding accumulator-format values (or the exact product for the
     baseline config).  Set ``cast=False`` if the inputs are already in
-    the multiplier format.
+    the multiplier format.  Thin 2D wrapper over
+    :func:`matmul_batched`.
+    """
+    a = np.asarray(a, np.float64)
+    b = np.asarray(b, np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"bad GEMM shapes {a.shape} x {b.shape}")
+    return matmul_batched(a[None], b[None], config, cast=cast)[0]
+
+
+def reference_matmul(a: np.ndarray, b: np.ndarray, config: GemmConfig,
+                     *, cast: bool = True) -> np.ndarray:
+    """The seed per-step MAC loop, kept verbatim as the reference.
+
+    Re-allocates the accumulator and draws randomness once per reduction
+    step — the unfused implementation the ``sequential`` engine is
+    verified bit-identical against (and benchmarked against in
+    ``benchmarks/bench_engines.py``).
     """
     a = np.asarray(a, np.float64)
     b = np.asarray(b, np.float64)
@@ -79,23 +138,7 @@ def matmul(a: np.ndarray, b: np.ndarray, config: GemmConfig,
 
 def _round_acc(values: np.ndarray, config: GemmConfig) -> np.ndarray:
     """Round a (exactly computed) partial sum into the accumulator format."""
-    fmt = config.acc_format
-    if config.rounding == "nearest":
-        return quantize_fast(values, fmt, "nearest", saturate=config.saturate)
-    if config.rbits is None:
-        # Exact SR (infinite random bits) — ablation path, reference impl.
-        return quantize(
-            values, fmt, "stochastic",
-            rng=getattr(config.stream, "rng", np.random.default_rng(0)),
-            saturate=config.saturate,
-        )
-    draws = config.stream.integers(config.rbits, values.shape)
-    return quantize_fast(
-        values, fmt, "stochastic",
-        rbits=config.rbits,
-        random_ints=draws,
-        saturate=config.saturate,
-    )
+    return round_partial(values, config)
 
 
 def dot(x: np.ndarray, w: np.ndarray, config: GemmConfig) -> float:
@@ -106,29 +149,34 @@ def dot(x: np.ndarray, w: np.ndarray, config: GemmConfig) -> float:
 
 def sum_reduce(values: np.ndarray, config: GemmConfig,
                axis: int = -1) -> np.ndarray:
-    """Sequential low-precision reduction along ``axis``.
+    """Low-precision reduction along ``axis`` in the configured order.
 
     Used for bias-gradient reductions so the backward pass is emulated
     end to end.  Equivalent to a GEMM against a vector of ones without
-    the input cast.
+    the input cast; dispatches to the same accumulation engine as
+    :func:`matmul`.
     """
     arr = np.asarray(values, np.float64)
     if config.acc_format is None:
         return arr.sum(axis=axis)
     moved = np.moveaxis(arr, axis, 0)
-    acc = np.zeros(moved.shape[1:], dtype=np.float64)
     if not config.per_step:
-        return _round_acc(moved.sum(axis=0), config)
-    for step in range(moved.shape[0]):
-        acc = _round_acc(acc + moved[step], config)
-    return acc
+        out = round_partial(moved.sum(axis=0), config)
+    else:
+        out = get_engine(config.accum_order).reduce(moved, config)
+    # The quantizers promote 0-d to (1,); normalize so the result shape
+    # is the reduced shape regardless of the engine.
+    return np.asarray(out, dtype=np.float64).reshape(moved.shape[1:])
 
 
 class QuantizedGemm:
     """Callable GEMM bound to a config, tracking overflow statistics.
 
-    The dynamic loss scaler watches :attr:`overflow_count` to decide when
-    to back off the scaling factor.
+    The batched entry point of the training stack: accepts 2D
+    ``(M, K) @ (K, N)`` or stacked 3D ``(B, M, K) @ (B, K, N)``
+    operands, routing both through :func:`matmul_batched`.  The dynamic
+    loss scaler watches :attr:`overflow_count` to decide when to back
+    off the scaling factor.
     """
 
     def __init__(self, config: GemmConfig):
@@ -137,7 +185,15 @@ class QuantizedGemm:
         self.overflow_count = 0
 
     def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        result = matmul(a, b, self.config)
+        a = np.asarray(a, np.float64)
+        b = np.asarray(b, np.float64)
+        if a.ndim == 3 or b.ndim == 3:
+            if a.ndim != 3 or b.ndim != 3:
+                raise ValueError(
+                    f"mixed 2D/3D GEMM operands {a.shape} x {b.shape}")
+            result = matmul_batched(a, b, self.config)
+        else:
+            result = matmul(a, b, self.config)
         self.call_count += 1
         if not np.all(np.isfinite(result)):
             self.overflow_count += 1

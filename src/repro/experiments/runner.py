@@ -5,8 +5,14 @@ Usage::
     python -m repro.experiments.runner table1 table2 table5 fig5
     python -m repro.experiments.runner table3 --scale small
     python -m repro.experiments.runner table4 --scale small
+    python -m repro.experiments.runner table3 --scale tiny --accum-order pairwise
     python -m repro.experiments.runner validation
     python -m repro.experiments.runner all --scale tiny
+
+``--accum-order`` re-runs the training tables under a different GEMM
+accumulation engine (``sequential``, ``pairwise``, ``chunked`` or
+``chunked(<c>)`` — see :mod:`repro.emu.engine`), turning Tables III/IV
+into per-datapath ablations.
 """
 
 from __future__ import annotations
@@ -22,7 +28,8 @@ def _print(text: str) -> None:
     print(text, flush=True)
 
 
-def run_experiment(name: str, scale: str) -> None:
+def run_experiment(name: str, scale: str,
+                   accum_order: str = "sequential") -> None:
     start = time.time()
     if name == "table1":
         _print("== Table I: ASIC cost of the 24 adder configurations ==")
@@ -36,12 +43,16 @@ def run_experiment(name: str, scale: str) -> None:
         _print("== Table II: FPGA implementation results ==")
         _print(hardware.format_table2(hardware.run_table2()))
     elif name == "table3":
-        _print(f"== Table III: ResNet/CIFAR-like accuracy (scale={scale}) ==")
-        rows = training.run_table3(scale, log=_print)
+        _print(f"== Table III: ResNet/CIFAR-like accuracy (scale={scale}, "
+               f"accum={accum_order}) ==")
+        rows = training.run_table3(scale, log=_print,
+                                   accum_order=accum_order)
         _print(training.format_accuracy_rows(rows))
     elif name == "table4":
-        _print(f"== Table IV: VGG + ResNet50 workloads (scale={scale}) ==")
-        results = training.run_table4(scale, log=_print)
+        _print(f"== Table IV: VGG + ResNet50 workloads (scale={scale}, "
+               f"accum={accum_order}) ==")
+        results = training.run_table4(scale, log=_print,
+                                      accum_order=accum_order)
         for workload, rows in results.items():
             _print(training.format_accuracy_rows(rows, title=f"-- {workload} --"))
     elif name == "table5":
@@ -63,6 +74,8 @@ ALL = ["table1", "table2", "table5", "fig5", "validation", "table3", "table4"]
 
 
 def main(argv=None) -> int:
+    from ..emu.engine import get_engine
+
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("experiments", nargs="+",
                         help="table1 table2 table3 table4 table5 fig5 "
@@ -70,10 +83,14 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", default="small",
                         choices=sorted(training.SCALES),
                         help="training scale preset for tables III/IV")
+    parser.add_argument("--accum-order", default="sequential",
+                        help="GEMM accumulation engine for tables III/IV: "
+                             "sequential, pairwise, chunked or chunked(<c>)")
     args = parser.parse_args(argv)
+    get_engine(args.accum_order)  # fail fast on unknown engine names
     names = ALL if "all" in args.experiments else args.experiments
     for name in names:
-        run_experiment(name, args.scale)
+        run_experiment(name, args.scale, args.accum_order)
     return 0
 
 

@@ -103,21 +103,30 @@ class AccuracyRow:
 
 def _gemm_config_for(kind: str, e_bits: int, m_bits: int,
                      subnormals: bool, rbits: Optional[int],
-                     seed: int) -> Optional[GemmConfig]:
+                     seed: int,
+                     accum_order: str = "sequential") -> Optional[GemmConfig]:
     if kind == "baseline":
         return None
     if kind == "rn":
         fmt = {(5, 10): FP16, (8, 7): BF16, (6, 5): FP12_E6M5}[(e_bits, m_bits)]
-        return GemmConfig.rn(fmt, subnormals=subnormals)
+        return GemmConfig.rn(fmt, subnormals=subnormals,
+                             accum_order=accum_order)
     if kind == "sr":
-        return GemmConfig.sr(rbits, subnormals=subnormals, seed=seed)
+        return GemmConfig.sr(rbits, subnormals=subnormals, seed=seed,
+                             accum_order=accum_order)
     raise ValueError(f"unknown row kind {kind!r}")
 
 
 def run_table3(scale_name: str = "small", seed: int = 1,
-               log: Optional[Callable[[str], None]] = None
-               ) -> List[AccuracyRow]:
-    """Table III: accuracy vs (E, M) and r on the CIFAR-10 stand-in."""
+               log: Optional[Callable[[str], None]] = None,
+               accum_order: str = "sequential") -> List[AccuracyRow]:
+    """Table III: accuracy vs (E, M) and r on the CIFAR-10 stand-in.
+
+    ``accum_order`` selects the accumulation engine for every quantized
+    row (datapath ablation: ``sequential`` reproduces the paper's MAC
+    chain, ``pairwise``/``chunked(c)`` model adder-tree and blocked
+    accumulators).
+    """
     from . import records
 
     scale = SCALES[scale_name]
@@ -127,9 +136,11 @@ def run_table3(scale_name: str = "small", seed: int = 1,
     for label, kind, subnormals, e_bits, m_bits, rbits, paper_acc \
             in records.TABLE3:
         config = _gemm_config_for(kind, e_bits, m_bits, subnormals, rbits,
-                                  seed)
+                                  seed, accum_order)
         if log is not None:
-            log(f"[table3/{scale_name}] {label} E{e_bits}M{m_bits} r={rbits}")
+            log(f"[table3/{scale_name}] {label} E{e_bits}M{m_bits} r={rbits}"
+                + ("" if accum_order == "sequential"
+                   else f" [{accum_order}]"))
         accuracy = train_once(dataset, scale, config, seed=seed)
         rows.append(AccuracyRow(label, e_bits, m_bits, rbits, accuracy,
                                 paper_acc))
@@ -139,7 +150,8 @@ def run_table3(scale_name: str = "small", seed: int = 1,
 
 
 def run_table4(scale_name: str = "small", seed: int = 1,
-               log: Optional[Callable[[str], None]] = None
+               log: Optional[Callable[[str], None]] = None,
+               accum_order: str = "sequential"
                ) -> Dict[str, List[AccuracyRow]]:
     """Table IV: VGG16/CIFAR10-like and ResNet50/Imagewoof-like."""
     from . import records
@@ -172,9 +184,11 @@ def run_table4(scale_name: str = "small", seed: int = 1,
         for label, kind, subnormals, e_bits, m_bits, rbits, paper_acc \
                 in records.TABLE4[workload_name]:
             config = _gemm_config_for(kind, e_bits, m_bits, subnormals,
-                                      rbits, seed)
+                                      rbits, seed, accum_order)
             if log is not None:
-                log(f"[table4/{workload_name}] {label}")
+                log(f"[table4/{workload_name}] {label}"
+                    + ("" if accum_order == "sequential"
+                       else f" [{accum_order}]"))
             accuracy = train_once(dataset, scale, config, seed=seed)
             rows.append(AccuracyRow(label, e_bits, m_bits, rbits, accuracy,
                                     paper_acc))

@@ -55,10 +55,21 @@ def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int], kernel: int,
 
 
 def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Numerically stable softmax."""
-    shifted = logits - np.max(logits, axis=axis, keepdims=True)
-    exp = np.exp(shifted)
-    return exp / np.sum(exp, axis=axis, keepdims=True)
+    """Numerically stable softmax, safe under non-finite logits.
+
+    The max-shift subtracts only finite row maxima, so overflowed logits
+    (inf after a diverged low-precision GEMM) no longer raise
+    ``RuntimeWarning: invalid value encountered in subtract`` — rows
+    containing any non-finite logit deterministically yield NaN
+    probabilities, which the loss scaler's overflow detection relies on.
+    """
+    peak = np.max(logits, axis=axis, keepdims=True)
+    finite = np.isfinite(peak)
+    shifted = logits - np.where(finite, peak, 0.0)
+    with np.errstate(invalid="ignore", over="ignore"):
+        exp = np.exp(shifted)
+        out = exp / np.sum(exp, axis=axis, keepdims=True)
+    return np.where(finite, out, np.nan)
 
 
 def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:

@@ -22,7 +22,14 @@ from .module import GemmFn, Module, Parameter, default_gemm
 
 
 class Linear(Module):
-    """Fully connected layer: ``y = x @ W.T + b``."""
+    """Fully connected layer: ``y = x @ W.T + b``.
+
+    Accepts 2D ``(N, F)`` activations or stacked 3D ``(B, T, F)``
+    inputs; both the forward product and the two backward products
+    (input gradient and weight gradient) go through the GEMM callable's
+    batched entry point, so every accumulation runs under the
+    configured engine.
+    """
 
     def __init__(self, in_features: int, out_features: int, *,
                  bias: bool = True, gemm: Optional[GemmFn] = None,
@@ -40,15 +47,35 @@ class Linear(Module):
             if bias else None
         self._x: Optional[np.ndarray] = None
 
+    def _broadcast_weight(self, w: np.ndarray, batch: int) -> np.ndarray:
+        """Stride-0 stack of the shared weight for batched GEMMs."""
+        return np.broadcast_to(w, (batch, *w.shape))
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._x = x
-        out = self.gemm(x, self.weight.data.T)
+        if x.ndim == 3:
+            out = self.gemm(x, self._broadcast_weight(self.weight.data.T,
+                                                      x.shape[0]))
+        else:
+            out = self.gemm(x, self.weight.data.T)
         if self.bias is not None:
             out = out + self.bias.data
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         x = self._x
+        if grad_out.ndim == 3:
+            batch = grad_out.shape[0]
+            # One flattened (O, B*T) @ (B*T, F) product keeps the whole
+            # cross-batch reduction inside the quantized accumulator —
+            # identical to the 2D path on the flattened activations.
+            grad2d = grad_out.reshape(-1, self.out_features)
+            self.weight.grad += self.gemm(grad2d.T,
+                                          x.reshape(-1, self.in_features))
+            if self.bias is not None:
+                self.bias.grad += grad2d.sum(axis=0)
+            return self.gemm(grad_out,
+                             self._broadcast_weight(self.weight.data, batch))
         self.weight.grad += self.gemm(grad_out.T, x)
         if self.bias is not None:
             self.bias.grad += grad_out.sum(axis=0)

@@ -128,10 +128,12 @@ class Sequential(Module):
         return len(self.layers)
 
 
-#: GEMM callable signature used by the compute layers.
+#: GEMM callable signature used by the compute layers.  Implementations
+#: accept 2D ``(M, K) @ (K, N)`` or batched 3D ``(B, M, K) @ (B, K, N)``
+#: operands (cf. :class:`repro.emu.gemm.QuantizedGemm`).
 GemmFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
 def default_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Full-precision GEMM (the FP32 baseline path)."""
+    """Full-precision GEMM (the FP32 baseline path); 2D or batched 3D."""
     return a @ b

@@ -1,7 +1,7 @@
 """Pseudo-random number generation for stochastic rounding hardware."""
 
 from .lfsr import GALOIS_TAPS, GaloisLFSR, VectorLFSR
-from .streams import LFSRStream, RandomBitStream, SoftwareStream
+from .streams import LFSRStream, RandomBitStream, SoftwareStream, bulk_draws
 
 __all__ = [
     "GALOIS_TAPS",
@@ -10,4 +10,5 @@ __all__ = [
     "RandomBitStream",
     "SoftwareStream",
     "LFSRStream",
+    "bulk_draws",
 ]

@@ -3,7 +3,17 @@
 The emulation flow lets experiments choose where the SR random bits come
 from: a fast software generator (numpy PCG64, the default for training
 runs) or the bit-accurate LFSR bank that mirrors the hardware PRNG.  Both
-implement the same two-method protocol.
+implement the same protocol: per-call draws (:meth:`integers`) and bulk
+multi-step draws (:meth:`integers_bulk`) used by the fused accumulation
+engines.
+
+The bulk contract is strict: ``integers_bulk(r, steps, shape)[i]`` must be
+*value*-identical to what the ``i``-th of ``steps`` successive
+``integers(r, shape)`` calls would have returned, so pre-drawing the
+randomness of a whole GEMM reduction never changes its result.  The
+dtype may be any unsigned integer type wide enough for ``r`` bits
+(:class:`SoftwareStream` returns uint32 draws for ``r <= 32`` to halve
+the unpack bandwidth).
 """
 
 from __future__ import annotations
@@ -16,21 +26,92 @@ from .lfsr import VectorLFSR
 
 
 class RandomBitStream(Protocol):
-    """Protocol for SR randomness sources."""
+    """Protocol for SR randomness sources.
+
+    Only :meth:`integers` is required.  Streams may additionally expose
+    ``integers_bulk(rbits, steps, shape)`` (``steps`` successive
+    :meth:`integers` draws stacked on axis 0) as a fast path; consumers
+    go through :func:`bulk_draws`, which falls back to stacking
+    per-step draws for streams without it.
+    """
 
     def integers(self, rbits: int, shape) -> np.ndarray:
         """Uniform integers in ``[0, 2**rbits)`` with the given shape."""
         ...  # pragma: no cover
 
 
+def bulk_draws(stream, rbits: int, steps: int, shape) -> np.ndarray:
+    """Bulk draws from any stream, even one without :meth:`integers_bulk`.
+
+    Third-party streams only need the single-call method; this helper
+    falls back to stacking per-step draws, which is equivalent by the
+    bulk contract.
+    """
+    bulk = getattr(stream, "integers_bulk", None)
+    if bulk is not None:
+        return bulk(rbits, steps, shape)
+    return np.stack([stream.integers(rbits, shape) for _ in range(steps)])
+
+
 class SoftwareStream:
     """numpy-PCG64-backed stream (fast path for training emulation)."""
+
+    #: Per-``rbits`` result of the one-time self-check that the raw-word
+    #: unpack below reproduces ``Generator.integers`` bit for bit on this
+    #: numpy build (class-level: the check probes fixed-seed generators).
+    _raw_unpack_ok: dict = {}
 
     def __init__(self, seed: int = 0):
         self.rng = np.random.default_rng(seed)
 
     def integers(self, rbits: int, shape) -> np.ndarray:
         return self.rng.integers(0, 1 << rbits, size=shape, dtype=np.uint64)
+
+    def integers_bulk(self, rbits: int, steps: int, shape) -> np.ndarray:
+        # numpy draws bounded uint64 with a power-of-two range through
+        # Lemire's algorithm on 32-bit half-words (low half first on
+        # little endian, no rejection): each output is the top ``rbits``
+        # bits of one half-word.  Unpacking raw 64-bit words ourselves
+        # is ~2x faster than the bounded path and reads half-words in
+        # the same order, hence is bit-identical — *except* around
+        # PCG64's internal half-word cache: an odd-length request parks
+        # its unused upper half inside the bit generator, which
+        # ``random_raw`` neither honors nor refills.  The fast path
+        # therefore requires an even total and an empty cache, and its
+        # equivalence is asserted once per process against
+        # ``Generator.integers``; anything else takes the plain bounded
+        # call.
+        total = int(steps) * int(np.prod(shape, dtype=np.int64))
+        out_shape = (steps, *tuple(shape))
+        if (1 <= rbits <= 32 and total > 0 and total % 2 == 0
+                and not self.rng.bit_generator.state.get("has_uint32", 1)
+                and self._verify_raw_unpack(rbits)):
+            words = self.rng.bit_generator.random_raw(total // 2)
+            halves = words.view(np.uint32)
+            draws = halves >> np.uint32(32 - rbits) if rbits < 32 else halves
+            return draws.reshape(out_shape)
+        return self.rng.integers(0, 1 << rbits, size=out_shape,
+                                 dtype=np.uint64)
+
+    @classmethod
+    def _verify_raw_unpack(cls, rbits: int) -> bool:
+        ok = cls._raw_unpack_ok.get(rbits)
+        if ok is None:
+            ok = True
+            for size in (4096, 10):  # even draw counts only (see above)
+                ref = np.random.Generator(np.random.PCG64(0xC0FFEE))
+                raw = np.random.Generator(np.random.PCG64(0xC0FFEE))
+                for _ in range(2):  # two rounds: values AND state advance
+                    expect = ref.integers(0, 1 << rbits, size=size,
+                                          dtype=np.uint64)
+                    halves = raw.bit_generator.random_raw(
+                        size // 2).view(np.uint32)
+                    got = (halves >> np.uint32(32 - rbits)) if rbits < 32 \
+                        else halves
+                    ok = ok and np.array_equal(expect,
+                                               got.astype(np.uint64))
+            cls._raw_unpack_ok[rbits] = ok
+        return ok
 
 
 class LFSRStream:
@@ -51,3 +132,10 @@ class LFSRStream:
             bank = VectorLFSR(rbits, self.lanes, seed=self.seed + rbits)
             self._banks[rbits] = bank
         return bank.draw(shape)
+
+    def integers_bulk(self, rbits: int, steps: int, shape) -> np.ndarray:
+        # Each per-call draw truncates the last lane chunk, so a single
+        # flat draw of steps*prod(shape) values would consume the LFSR
+        # states differently.  Stacking per-step draws preserves the
+        # hardware's call-by-call truncation exactly.
+        return np.stack([self.integers(rbits, shape) for _ in range(steps)])

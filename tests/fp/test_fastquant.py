@@ -101,3 +101,80 @@ class TestDeepTail:
         ])
         _assert_same(quantize(values, fmt, "nearest"),
                      quantize_fast(values, fmt, "nearest"))
+
+
+class TestFusedOutPath:
+    """quantize_fast(out=...) — the engine hot path — must match the
+    allocating path bit for bit, write in place, and not allocate the
+    result."""
+
+    @pytest.mark.parametrize("fmt", FORMATS, ids=lambda f: f.name)
+    def test_nearest_matches_allocating_path(self, fmt, rng):
+        from repro.fp.fastquant import QuantizeWorkspace
+
+        values = np.ascontiguousarray(_stress_sample(rng))
+        out = np.empty_like(values)
+        ws = QuantizeWorkspace(values.shape)
+        got = quantize_fast(values, fmt, "nearest", out=out, workspace=ws)
+        assert got is out
+        _assert_same(out, quantize_fast(values, fmt, "nearest"))
+
+    @pytest.mark.parametrize("fmt", FORMATS, ids=lambda f: f.name)
+    @pytest.mark.parametrize("rbits", [4, 9, 13])
+    @pytest.mark.parametrize("saturate", [False, True])
+    def test_stochastic_matches_allocating_path(self, fmt, rng, rbits,
+                                                saturate):
+        values = np.ascontiguousarray(_stress_sample(rng))
+        draws = rng.integers(0, 1 << rbits, size=values.shape,
+                             dtype=np.uint64)
+        out = np.empty_like(values)
+        got = quantize_fast(values, fmt, "stochastic", rbits=rbits,
+                            random_ints=draws, saturate=saturate, out=out)
+        assert got is out
+        _assert_same(out, quantize_fast(values, fmt, "stochastic",
+                                        rbits=rbits, random_ints=draws,
+                                        saturate=saturate))
+
+    def test_uint32_draws_supported(self, rng):
+        values = np.ascontiguousarray(rng.normal(size=256))
+        draws = rng.integers(0, 512, size=values.shape, dtype=np.uint64)
+        out32 = np.empty_like(values)
+        out64 = np.empty_like(values)
+        quantize_fast(values, FP12_E6M5, "stochastic", rbits=9,
+                      random_ints=draws.astype(np.uint32), out=out32)
+        quantize_fast(values, FP12_E6M5, "stochastic", rbits=9,
+                      random_ints=draws, out=out64)
+        _assert_same(out32, out64)
+
+    def test_out_path_rejects_aliasing_and_bad_shapes(self, rng):
+        values = np.ascontiguousarray(rng.normal(size=16))
+        with pytest.raises(ValueError):
+            quantize_fast(values, FP12_E6M5, "nearest", out=values)
+        with pytest.raises(ValueError):
+            quantize_fast(values, FP12_E6M5, "nearest",
+                          out=np.empty(8))
+        with pytest.raises(ValueError):
+            quantize_fast(values[::2], FP12_E6M5, "nearest",
+                          out=np.empty(8))
+
+    def test_out_path_falls_back_for_unsupported_modes(self, rng):
+        values = np.ascontiguousarray(rng.normal(size=64))
+        out = np.empty_like(values)
+        got = quantize_fast(values, FP12_E6M5, "toward_zero", out=out)
+        assert got is out
+        _assert_same(out, quantize(values, FP12_E6M5, "toward_zero"))
+        # wide format also delegates through the reference into out
+        got = quantize_fast(values, FP32, "nearest", out=out)
+        _assert_same(out, quantize(values, FP32, "nearest"))
+
+    def test_workspace_reuse_across_calls(self, rng):
+        from repro.fp.fastquant import QuantizeWorkspace
+
+        ws = QuantizeWorkspace((128,))
+        out = np.empty(128)
+        for trial in range(4):
+            values = np.ascontiguousarray(rng.normal(size=128) *
+                                          10.0 ** (3 * trial - 5))
+            quantize_fast(values, FP12_E6M5, "nearest", out=out,
+                          workspace=ws)
+            _assert_same(out, quantize_fast(values, FP12_E6M5, "nearest"))

@@ -232,3 +232,65 @@ class TestQuantizedGemmIntegration:
         assert np.array_equal(out, quantize(out, FP12_E6M5, "toward_zero"))
         layer.backward(np.ones((3, 4)))
         assert gemm.call_count == 3  # fwd + dW + dX
+
+
+class TestBatchedLinear:
+    """3D (B, T, F) inputs route through the batched GEMM entry point."""
+
+    def test_forward_matches_per_matrix(self, rng):
+        layer = Linear(6, 4, rng=rng)
+        x = rng.normal(size=(3, 5, 6))
+        out = layer.forward(x)
+        assert out.shape == (3, 5, 4)
+        for i in range(3):
+            want = x[i] @ layer.weight.data.T + layer.bias.data
+            assert np.allclose(out[i], want, rtol=0, atol=0)
+
+    def test_backward_matches_2d_stacked(self, rng):
+        layer3 = Linear(6, 4, rng=np.random.default_rng(3))
+        layer2 = Linear(6, 4, rng=np.random.default_rng(3))
+        x = rng.normal(size=(3, 5, 6))
+        grad = rng.normal(size=(3, 5, 4))
+        layer3.forward(x)
+        grad_x3 = layer3.backward(grad)
+        # flatten the batch: same products, accumulated per matrix
+        layer2.forward(x.reshape(15, 6))
+        grad_x2 = layer2.backward(grad.reshape(15, 4))
+        assert np.allclose(layer3.weight.grad, layer2.weight.grad)
+        assert np.allclose(layer3.bias.grad, layer2.bias.grad)
+        assert np.allclose(grad_x3.reshape(15, 6), grad_x2)
+
+    def test_quantized_weight_grad_matches_flattened(self, rng):
+        """The cross-batch weight-grad reduction runs entirely inside the
+        quantized accumulator: 3D and flattened-2D inputs produce
+        bit-identical weight gradients under an emulated gemm."""
+        from repro.emu import GemmConfig, QuantizedGemm
+
+        x = rng.normal(size=(3, 5, 6))
+        grad = rng.normal(size=(3, 5, 4))
+        g3 = QuantizedGemm(GemmConfig.sr(9, seed=4))
+        g2 = QuantizedGemm(GemmConfig.sr(9, seed=4))
+        layer3 = Linear(6, 4, gemm=g3, rng=np.random.default_rng(3),
+                        bias=False)
+        layer2 = Linear(6, 4, gemm=g2, rng=np.random.default_rng(3),
+                        bias=False)
+        layer3._x = x
+        layer2._x = x.reshape(15, 6)
+        layer3.backward(grad)
+        layer2.backward(grad.reshape(15, 4))
+        assert np.array_equal(layer3.weight.grad, layer2.weight.grad)
+
+    def test_batched_through_quantized_gemm(self, rng):
+        from repro.emu import GemmConfig, QuantizedGemm
+        from repro.fp.formats import FP12_E6M5
+        from repro.fp.quantize import quantize
+
+        gemm = QuantizedGemm(GemmConfig.sr(9, seed=2))
+        layer = Linear(8, 4, gemm=gemm, rng=rng, bias=False)
+        x = rng.normal(size=(2, 3, 8))
+        out = layer.forward(x)
+        assert out.shape == (2, 3, 4)
+        assert np.array_equal(out, quantize(out, FP12_E6M5, "toward_zero"))
+        grad_x = layer.backward(rng.normal(size=(2, 3, 4)))
+        assert grad_x.shape == x.shape
+        assert gemm.call_count == 3  # fwd + dW + dX, all batched
