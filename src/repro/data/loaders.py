@@ -11,16 +11,32 @@ from .synthetic import Dataset
 Batch = Tuple[np.ndarray, np.ndarray]
 
 
+def _shift_zero(image: np.ndarray, dy: int, dx: int) -> np.ndarray:
+    """Zero-padded translate of one ``(C, H, W)`` image.
+
+    Pixels shifted past an edge are dropped and the entering edge is
+    zero-filled (the CIFAR pad-and-crop convention) — unlike ``np.roll``,
+    which would wrap the opposite edge's pixels around.
+    """
+    _, h, w = image.shape
+    out = np.zeros_like(image)
+    ys0, ys1 = max(dy, 0), h + min(dy, 0)
+    xs0, xs1 = max(dx, 0), w + min(dx, 0)
+    out[:, ys0:ys1, xs0:xs1] = image[:, ys0 - dy:ys1 - dy, xs0 - dx:xs1 - dx]
+    return out
+
+
 def augment(images: np.ndarray, rng: np.random.Generator,
             max_shift: int = 1) -> np.ndarray:
-    """Random horizontal flips and +/-1 pixel shifts (CIFAR-style)."""
+    """Random horizontal flips and +/-1 pixel zero-padded shifts
+    (CIFAR-style)."""
     out = images.copy()
     flips = rng.random(out.shape[0]) < 0.5
     out[flips] = out[flips, :, :, ::-1]
     shifts = rng.integers(-max_shift, max_shift + 1, size=(out.shape[0], 2))
     for i, (dy, dx) in enumerate(shifts):
         if dy or dx:
-            out[i] = np.roll(out[i], (int(dy), int(dx)), axis=(1, 2))
+            out[i] = _shift_zero(out[i], int(dy), int(dx))
     return out
 
 

@@ -19,8 +19,18 @@ from .gemm import (
     reference_matmul,
     sum_reduce,
 )
+from .parallel import (
+    BLOCK_ROWS,
+    ParallelQuantizedGemm,
+    TileScheduler,
+    parallel_matmul_batched,
+)
 
 __all__ = [
+    "BLOCK_ROWS",
+    "ParallelQuantizedGemm",
+    "TileScheduler",
+    "parallel_matmul_batched",
     "GemmConfig",
     "paper_table3_config",
     "QuantizedGemm",

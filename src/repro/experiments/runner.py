@@ -13,6 +13,13 @@ Usage::
 accumulation engine (``sequential``, ``pairwise``, ``chunked`` or
 ``chunked(<c>)`` — see :mod:`repro.emu.engine`), turning Tables III/IV
 into per-datapath ablations.
+
+``--workers N`` (N >= 2) shards every emulated GEMM of the training
+tables across ``N`` processes via the deterministic tiled-parallel
+executor (:mod:`repro.emu.parallel`); results are bit-identical for
+any ``N >= 2`` at the same seed (key-derived substream draw order —
+intentionally distinct from the default serial path, which stays
+bit-compatible with earlier releases).
 """
 
 from __future__ import annotations
@@ -29,7 +36,8 @@ def _print(text: str) -> None:
 
 
 def run_experiment(name: str, scale: str,
-                   accum_order: str = "sequential") -> None:
+                   accum_order: str = "sequential",
+                   workers: int = 1) -> None:
     start = time.time()
     if name == "table1":
         _print("== Table I: ASIC cost of the 24 adder configurations ==")
@@ -44,15 +52,17 @@ def run_experiment(name: str, scale: str,
         _print(hardware.format_table2(hardware.run_table2()))
     elif name == "table3":
         _print(f"== Table III: ResNet/CIFAR-like accuracy (scale={scale}, "
-               f"accum={accum_order}) ==")
+               f"accum={accum_order}, workers={workers}) ==")
         rows = training.run_table3(scale, log=_print,
-                                   accum_order=accum_order)
+                                   accum_order=accum_order,
+                                   workers=workers)
         _print(training.format_accuracy_rows(rows))
     elif name == "table4":
         _print(f"== Table IV: VGG + ResNet50 workloads (scale={scale}, "
-               f"accum={accum_order}) ==")
+               f"accum={accum_order}, workers={workers}) ==")
         results = training.run_table4(scale, log=_print,
-                                      accum_order=accum_order)
+                                      accum_order=accum_order,
+                                      workers=workers)
         for workload, rows in results.items():
             _print(training.format_accuracy_rows(rows, title=f"-- {workload} --"))
     elif name == "table5":
@@ -86,11 +96,16 @@ def main(argv=None) -> int:
     parser.add_argument("--accum-order", default="sequential",
                         help="GEMM accumulation engine for tables III/IV: "
                              "sequential, pairwise, chunked or chunked(<c>)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the tiled-parallel GEMM "
+                             "executor (tables III/IV); 1 = serial path")
     args = parser.parse_args(argv)
     get_engine(args.accum_order)  # fail fast on unknown engine names
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
     names = ALL if "all" in args.experiments else args.experiments
     for name in names:
-        run_experiment(name, args.scale, args.accum_order)
+        run_experiment(name, args.scale, args.accum_order, args.workers)
     return 0
 
 

@@ -77,11 +77,31 @@ def build_model(scale: TrainingScale, dataset: Dataset,
     raise ValueError(f"unknown model kind {scale.model!r}")
 
 
+def build_gemm(gemm_config: Optional[GemmConfig],
+               workers: int = 1) -> Optional[QuantizedGemm]:
+    """GEMM callable for a run: serial, or tiled-parallel for workers > 1.
+
+    ``workers=1`` keeps the serial :class:`QuantizedGemm` (bit-compatible
+    with all previously published runs); ``workers>1`` routes every GEMM
+    through the tiled-parallel executor, whose per-block substream draw
+    order is deterministic and worker-count-invariant but intentionally
+    distinct from the serial single-stream order.
+    """
+    if gemm_config is None:
+        return None
+    if workers > 1:
+        from ..emu.parallel import ParallelQuantizedGemm
+
+        return ParallelQuantizedGemm(gemm_config, workers=workers)
+    return QuantizedGemm(gemm_config)
+
+
 def train_once(dataset: Dataset, scale: TrainingScale,
                gemm_config: Optional[GemmConfig], seed: int = 1,
-               log: Optional[Callable[[str], None]] = None) -> float:
+               log: Optional[Callable[[str], None]] = None,
+               workers: int = 1) -> float:
     """Train one configuration; returns final test accuracy (percent)."""
-    gemm = QuantizedGemm(gemm_config) if gemm_config is not None else None
+    gemm = build_gemm(gemm_config, workers)
     model = build_model(scale, dataset, gemm, seed)
     train_loader, test_loader = loaders_for(
         dataset, batch_size=scale.batch_size, seed=seed)
@@ -119,13 +139,15 @@ def _gemm_config_for(kind: str, e_bits: int, m_bits: int,
 
 def run_table3(scale_name: str = "small", seed: int = 1,
                log: Optional[Callable[[str], None]] = None,
-               accum_order: str = "sequential") -> List[AccuracyRow]:
+               accum_order: str = "sequential",
+               workers: int = 1) -> List[AccuracyRow]:
     """Table III: accuracy vs (E, M) and r on the CIFAR-10 stand-in.
 
     ``accum_order`` selects the accumulation engine for every quantized
     row (datapath ablation: ``sequential`` reproduces the paper's MAC
     chain, ``pairwise``/``chunked(c)`` model adder-tree and blocked
-    accumulators).
+    accumulators); ``workers`` shards every emulated GEMM across that
+    many processes (see :func:`build_gemm`).
     """
     from . import records
 
@@ -141,7 +163,8 @@ def run_table3(scale_name: str = "small", seed: int = 1,
             log(f"[table3/{scale_name}] {label} E{e_bits}M{m_bits} r={rbits}"
                 + ("" if accum_order == "sequential"
                    else f" [{accum_order}]"))
-        accuracy = train_once(dataset, scale, config, seed=seed)
+        accuracy = train_once(dataset, scale, config, seed=seed,
+                              workers=workers)
         rows.append(AccuracyRow(label, e_bits, m_bits, rbits, accuracy,
                                 paper_acc))
         if log is not None:
@@ -151,8 +174,8 @@ def run_table3(scale_name: str = "small", seed: int = 1,
 
 def run_table4(scale_name: str = "small", seed: int = 1,
                log: Optional[Callable[[str], None]] = None,
-               accum_order: str = "sequential"
-               ) -> Dict[str, List[AccuracyRow]]:
+               accum_order: str = "sequential",
+               workers: int = 1) -> Dict[str, List[AccuracyRow]]:
     """Table IV: VGG16/CIFAR10-like and ResNet50/Imagewoof-like."""
     from . import records
 
@@ -189,7 +212,8 @@ def run_table4(scale_name: str = "small", seed: int = 1,
                 log(f"[table4/{workload_name}] {label}"
                     + ("" if accum_order == "sequential"
                        else f" [{accum_order}]"))
-            accuracy = train_once(dataset, scale, config, seed=seed)
+            accuracy = train_once(dataset, scale, config, seed=seed,
+                                  workers=workers)
             rows.append(AccuracyRow(label, e_bits, m_bits, rbits, accuracy,
                                     paper_acc))
             if log is not None:

@@ -73,12 +73,24 @@ def recursive_sum(values: np.ndarray, policy: RoundingPolicy) -> float:
 
 
 def pairwise_sum(values: np.ndarray, policy: RoundingPolicy) -> float:
-    """Balanced-tree summation: error grows O(log n) instead of O(n)."""
+    """Balanced-tree summation: error grows O(log n) instead of O(n).
+
+    An odd element at any level is carried up *unrounded* — it passes
+    through wiring, not an adder — matching the emulated ``pairwise``
+    engine (:class:`repro.emu.engine.PairwiseEngine`): ``n`` terms go
+    through exactly ``n - 1`` elementary (rounded) additions.  Zero-
+    padding instead would push the carried element through a spurious
+    ``x + 0.0`` rounding at every level, consuming SR draws the adder
+    tree does not have.
+    """
     level = policy.round(np.asarray(values, dtype=np.float64))
     while level.size > 1:
+        pairs = level.size // 2
+        summed = policy.round(level[0:2 * pairs:2] + level[1:2 * pairs:2])
         if level.size % 2:
-            level = np.concatenate([level, [0.0]])
-        level = policy.round(level[0::2] + level[1::2])
+            level = np.concatenate([summed, level[-1:]])
+        else:
+            level = summed
     return float(level[0]) if level.size else 0.0
 
 

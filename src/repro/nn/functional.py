@@ -54,6 +54,75 @@ def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int], kernel: int,
     return padded
 
 
+class PatchRows:
+    """Random-access im2col: any row range of the patch matrix on demand.
+
+    The tiled-parallel convolution path streams row tiles of the
+    ``(N*OH*OW, C*K*K)`` column matrix through the GEMM executor instead
+    of materializing it whole, so peak im2col memory is bounded by the
+    tile size.  ``PatchRows`` is the producer: it pads the input once
+    (memory of order the *input*, not the K^2-times-larger column
+    matrix) and gathers arbitrary flat row ranges ``[r0, r1)`` with the
+    exact layout of :func:`im2col` — row ``((n * OH) + oy) * OW + ox``,
+    columns ordered ``(c, ky, kx)``.  Instances are picklable, so pool
+    workers rebuild their own tiles from one shipped copy of the input.
+    """
+
+    def __init__(self, x: np.ndarray, kernel: int, stride: int = 1,
+                 pad: int = 0):
+        n, c, h, w = x.shape
+        self.x_shape = x.shape
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = pad
+        self.oh = conv_output_size(h, kernel, stride, pad)
+        self.ow = conv_output_size(w, kernel, stride, pad)
+        self.xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad))) \
+            if pad else np.asarray(x)
+        self.n_rows = n * self.oh * self.ow
+        self.n_cols = c * kernel * kernel
+
+    @property
+    def out_hw(self) -> Tuple[int, int]:
+        return (self.oh, self.ow)
+
+    def _indices(self, r0: int, r1: int):
+        rows = np.arange(r0, r1)
+        ox = rows % self.ow
+        rows = rows // self.ow
+        oy = rows % self.oh
+        ni = rows // self.oh
+        k = np.arange(self.kernel)
+        ys = oy[:, None, None, None] * self.stride + k[None, None, :, None]
+        xs = ox[:, None, None, None] * self.stride + k[None, None, None, :]
+        ci = np.arange(self.x_shape[1])[None, :, None, None]
+        return ni[:, None, None, None], ci, ys, xs
+
+    def __call__(self, r0: int, r1: int) -> np.ndarray:
+        """Rows ``[r0, r1)`` of the im2col matrix, shape ``(r1-r0, C*K*K)``."""
+        ni, ci, ys, xs = self._indices(r0, r1)
+        return self.xp[ni, ci, ys, xs].reshape(r1 - r0, self.n_cols)
+
+    def padded_zeros(self) -> np.ndarray:
+        """A zeroed padded-input-shaped buffer for gradient scatter."""
+        return np.zeros(self.xp.shape, dtype=np.float64)
+
+    def scatter_rows(self, values: np.ndarray, r0: int,
+                     out_padded: np.ndarray) -> None:
+        """Adjoint of :meth:`__call__`: scatter-add patch-gradient rows
+        back onto the padded image buffer."""
+        r1 = r0 + values.shape[0]
+        ni, ci, ys, xs = self._indices(r0, r1)
+        c, k = self.x_shape[1], self.kernel
+        np.add.at(out_padded, (ni, ci, ys, xs),
+                  values.reshape(r1 - r0, c, k, k))
+
+    def unpad(self, padded: np.ndarray) -> np.ndarray:
+        if self.pad:
+            return padded[:, :, self.pad:-self.pad, self.pad:-self.pad]
+        return padded
+
+
 def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
     """Numerically stable softmax, safe under non-finite logits.
 

@@ -16,7 +16,7 @@ from typing import Optional
 
 import numpy as np
 
-from .functional import col2im, im2col
+from .functional import PatchRows, col2im, im2col
 from .init import kaiming_normal
 from .module import GemmFn, Module, Parameter, default_gemm
 
@@ -88,6 +88,17 @@ class Conv2d(Module):
     Input/output layout is ``(N, C, H, W)``.  The im2col reduction
     dimension (``C * K * K``) is the MAC accumulation length, so swamping
     behavior matches a weight-stationary accelerator.
+
+    When the GEMM callable exposes the row-streamed entry points of
+    :class:`repro.emu.parallel.ParallelQuantizedGemm` (``gemm_rows`` /
+    ``gemm_rows_streamed`` / ``gemm_outer_rows``), the layer takes the
+    tiled-im2col path: the forward product, the input-gradient product
+    and the weight-gradient reduction all stream
+    :class:`repro.nn.functional.PatchRows` row tiles through the
+    parallel executor, never materializing the full
+    ``(N*OH*OW, C*K*K)`` column matrix (patches are regathered in
+    backward — the standard recompute trade).  Otherwise the legacy
+    whole-matrix im2col path is used, unchanged.
     """
 
     def __init__(self, in_channels: int, out_channels: int, kernel: int, *,
@@ -110,16 +121,30 @@ class Conv2d(Module):
         self.bias = Parameter(np.zeros(out_channels), name="conv.bias") \
             if bias else None
         self._cols: Optional[np.ndarray] = None
+        self._patches: Optional[PatchRows] = None
         self._x_shape = None
         self._out_hw = None
 
+    @property
+    def _streams_tiles(self) -> bool:
+        return hasattr(self.gemm, "gemm_rows")
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         n = x.shape[0]
-        cols, (oh, ow) = im2col(x, self.kernel, self.stride, self.pad)
-        self._cols = cols
         self._x_shape = x.shape
-        self._out_hw = (oh, ow)
-        out = self.gemm(cols, self.weight.data.T)
+        if self._streams_tiles:
+            patches = PatchRows(x, self.kernel, self.stride, self.pad)
+            self._patches = patches
+            self._cols = None
+            self._out_hw = (oh, ow) = patches.out_hw
+            out = self.gemm.gemm_rows(patches, patches.n_rows,
+                                      self.weight.data.T)
+        else:
+            cols, (oh, ow) = im2col(x, self.kernel, self.stride, self.pad)
+            self._cols = cols
+            self._patches = None
+            self._out_hw = (oh, ow)
+            out = self.gemm(cols, self.weight.data.T)
         if self.bias is not None:
             out = out + self.bias.data
         out = out.reshape(n, oh, ow, self.out_channels).transpose(0, 3, 1, 2)
@@ -130,12 +155,28 @@ class Conv2d(Module):
         oh, ow = self._out_hw
         grad2d = grad_out.transpose(0, 2, 3, 1).reshape(n * oh * ow,
                                                         self.out_channels)
+        if self._streams_tiles:
+            return self._backward_streamed(grad2d)
         self.weight.grad += self.gemm(grad2d.T, self._cols)
         if self.bias is not None:
             self.bias.grad += grad2d.sum(axis=0)
         grad_cols = self.gemm(grad2d, self.weight.data)
         return col2im(grad_cols, self._x_shape, self.kernel, self.stride,
                       self.pad)
+
+    def _backward_streamed(self, grad2d: np.ndarray) -> np.ndarray:
+        """Both backward GEMMs through the row-streamed executor."""
+        patches = self._patches
+        self.weight.grad += self.gemm.gemm_outer_rows(
+            grad2d, patches, patches.n_rows,
+            self.out_channels, patches.n_cols)
+        if self.bias is not None:
+            self.bias.grad += grad2d.sum(axis=0)
+        grad_padded = patches.padded_zeros()
+        self.gemm.gemm_rows_streamed(
+            grad2d, patches.n_rows, self.weight.data,
+            lambda r0, r1, rows: patches.scatter_rows(rows, r0, grad_padded))
+        return patches.unpad(grad_padded)
 
 
 class ReLU(Module):

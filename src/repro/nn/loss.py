@@ -19,6 +19,17 @@ class CrossEntropyLoss:
     def __init__(self):
         self._cache: Tuple[np.ndarray, np.ndarray] = None
 
+    @property
+    def last_probs(self) -> np.ndarray:
+        """Softmax probabilities of the most recent forward pass.
+
+        The trainer reads these for its running train-accuracy
+        bookkeeping instead of re-running the model.
+        """
+        if self._cache is None:
+            raise RuntimeError("no forward pass has been run yet")
+        return self._cache[0]
+
     def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
         probs = softmax(logits)
         self._cache = (probs, labels)

@@ -73,10 +73,15 @@ class Trainer:
         self.model.backward(grad)
         params = self.optimizer.parameters
         if self.scaler is not None:
+            # Order matters: unscale and step under the scale that was
+            # applied to this batch, and only then let the scaler grow.
+            # Updating first would divide the gradients by an already-
+            # doubled scale on every growth step (effective LR halved).
             overflow = not self.scaler.grads_finite(params)
-            if self.scaler.update(overflow):
+            if not overflow:
                 self.scaler.unscale(params)
                 self.optimizer.step()
+            self.scaler.update(overflow)
         else:
             if all(np.all(np.isfinite(p.grad)) for p in params):
                 self.optimizer.step()
@@ -110,12 +115,14 @@ class Trainer:
             for images, labels in train_loader_fn():
                 loss = self.train_batch(images, labels)
                 losses.append(loss)
-                logits_pred = None  # accuracy measured on the fly below
                 # cheap running train accuracy from the last forward pass
-                probs = self.criterion._cache[0]
+                probs = self.criterion.last_probs
                 correct += int(np.sum(np.argmax(probs, axis=1) == labels))
                 total += labels.shape[0]
-            lr = self.scheduler.step()
+            # Record the rate this epoch actually trained with; the
+            # scheduler then advances it for the next epoch.
+            lr = self.optimizer.lr
+            self.scheduler.step()
             test_acc = self.evaluate(test_loader_fn())
             stats = EpochStats(
                 epoch=epoch,

@@ -1,7 +1,13 @@
 """Pseudo-random number generation for stochastic rounding hardware."""
 
 from .lfsr import GALOIS_TAPS, GaloisLFSR, VectorLFSR
-from .streams import LFSRStream, RandomBitStream, SoftwareStream, bulk_draws
+from .streams import (
+    LFSRStream,
+    RandomBitStream,
+    SoftwareStream,
+    as_key_path,
+    bulk_draws,
+)
 
 __all__ = [
     "GALOIS_TAPS",
@@ -10,5 +16,6 @@ __all__ = [
     "RandomBitStream",
     "SoftwareStream",
     "LFSRStream",
+    "as_key_path",
     "bulk_draws",
 ]

@@ -132,6 +132,52 @@ class GaloisLFSR:
         raise RuntimeError("period exceeds limit")
 
 
+def _step_matrix(width: int, mask: int) -> List[int]:
+    """One-cycle transition of the Galois LFSR as a GF(2) bit matrix.
+
+    Row ``i`` is the set of *input* state bits whose XOR forms output
+    bit ``i``: the right shift contributes bit ``i + 1`` and the
+    feedback contributes bit 0 whenever tap bit ``i`` of ``mask`` is
+    set (``s' = (s >> 1) ^ (s_0 * mask)``).
+    """
+    rows = []
+    for i in range(width):
+        row = (1 << (i + 1)) if i + 1 < width else 0
+        if (mask >> i) & 1:
+            row |= 1
+        rows.append(row)
+    return rows
+
+
+def _matmul_gf2(a: List[int], b: List[int]) -> List[int]:
+    """Compose two GF(2) transition matrices (apply ``b`` first)."""
+    out = []
+    for row in a:
+        acc = 0
+        j = 0
+        while row:
+            if row & 1:
+                acc ^= b[j]
+            row >>= 1
+            j += 1
+        out.append(acc)
+    return out
+
+
+_POW2_MATRICES: dict = {}
+
+
+def _pow2_matrices(width: int, mask: int) -> List[List[int]]:
+    """Cached ``M^(2^i)`` ladder for the width's default step matrix."""
+    ladder = _POW2_MATRICES.get((width, mask))
+    if ladder is None:
+        ladder = [_step_matrix(width, mask)]
+        for _ in range(63):
+            ladder.append(_matmul_gf2(ladder[-1], ladder[-1]))
+        _POW2_MATRICES[(width, mask)] = ladder
+    return ladder
+
+
 class VectorLFSR:
     """Many independent Galois LFSRs advanced together with numpy.
 
@@ -155,6 +201,41 @@ class VectorLFSR:
         lsb = self.states & np.uint64(1)
         self.states >>= np.uint64(1)
         self.states ^= lsb * self._feedback
+        return self.states
+
+    def jump(self, steps: int) -> np.ndarray:
+        """Leapfrog every lane ``steps`` cycles in ``O(w^2 log steps)``.
+
+        The Galois step is linear over GF(2), so ``steps`` cycles are one
+        multiplication by the precomputed ``M^steps`` bit matrix — this
+        is how key-derived substreams (:meth:`repro.prng.streams.
+        LFSRStream.spawn`) place each child at its own offset of the
+        lane sequences without walking there cycle by cycle.
+        """
+        if steps <= 0:
+            return self.states
+        ladder = _pow2_matrices(self.width, int(self._feedback))
+        matrix = None
+        bit = 0
+        n = int(steps)
+        while n:
+            if n & 1:
+                matrix = ladder[bit] if matrix is None \
+                    else _matmul_gf2(ladder[bit], matrix)
+            n >>= 1
+            bit += 1
+        new = np.zeros_like(self.states)
+        for i, row in enumerate(matrix):
+            masked = self.states & np.uint64(row)
+            # parity fold of the masked input bits
+            masked ^= masked >> np.uint64(32)
+            masked ^= masked >> np.uint64(16)
+            masked ^= masked >> np.uint64(8)
+            masked ^= masked >> np.uint64(4)
+            masked ^= masked >> np.uint64(2)
+            masked ^= masked >> np.uint64(1)
+            new |= (masked & np.uint64(1)) << np.uint64(i)
+        self.states = new
         return self.states
 
     def draw(self, shape) -> np.ndarray:

@@ -115,14 +115,52 @@ class TestBatchLoader:
         assert len(first) == len(second) == 1
 
 
+class _FixedRng:
+    """Stub generator forcing specific flips/shifts out of ``augment``."""
+
+    def __init__(self, flips, shifts):
+        self._flips = np.asarray(flips, dtype=np.float64)
+        self._shifts = np.asarray(shifts, dtype=np.int64)
+
+    def random(self, n):
+        return self._flips[:n]
+
+    def integers(self, low, high, size):
+        return self._shifts[:size[0]]
+
+
 class TestAugmentation:
-    def test_preserves_shape_and_content_statistics(self, rng):
+    def test_preserves_shape(self, rng):
         images = rng.normal(size=(20, 3, 8, 8))
         out = augment(images, rng)
         assert out.shape == images.shape
-        # flips/rolls preserve per-image pixel multisets
+
+    def test_flip_preserves_pixel_multiset(self, rng):
+        """With shifts disabled, augmentation only mirrors images."""
+        images = rng.normal(size=(20, 3, 8, 8))
+        out = augment(images, rng, max_shift=0)
         assert np.allclose(np.sort(out.reshape(20, -1), axis=1),
                            np.sort(images.reshape(20, -1), axis=1))
+
+    def test_shift_zero_fills_instead_of_wrapping(self, rng):
+        """The entering edge is zeros; nothing leaks from the far edge
+        (the np.roll wrap-around bug)."""
+        images = rng.normal(size=(4, 3, 8, 8)) + 10.0  # strictly nonzero
+        stub = _FixedRng(flips=np.ones(4),  # >= 0.5: no flips
+                         shifts=[(1, 0), (-1, 0), (0, 1), (0, -1)])
+        out = augment(images, stub)
+        # dy=+1: content moves down, top row zero-filled
+        assert np.array_equal(out[0][:, 0, :], np.zeros((3, 8)))
+        assert np.array_equal(out[0][:, 1:, :], images[0][:, :-1, :])
+        # dy=-1: content moves up, bottom row zero-filled
+        assert np.array_equal(out[1][:, -1, :], np.zeros((3, 8)))
+        assert np.array_equal(out[1][:, :-1, :], images[1][:, 1:, :])
+        # dx=+1: left column zero-filled
+        assert np.array_equal(out[2][:, :, 0], np.zeros((3, 8)))
+        assert np.array_equal(out[2][:, :, 1:], images[2][:, :, :-1])
+        # dx=-1: right column zero-filled
+        assert np.array_equal(out[3][:, :, -1], np.zeros((3, 8)))
+        assert np.array_equal(out[3][:, :, :-1], images[3][:, :, 1:])
 
     def test_does_not_mutate_input(self, rng):
         images = rng.normal(size=(10, 3, 8, 8))

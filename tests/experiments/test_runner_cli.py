@@ -33,3 +33,39 @@ class TestRunnerCli:
         out = capsys.readouterr().out
         assert "headline savings" in out
         assert "vs_fp32" in out
+
+    def test_workers_flag_accepted(self, capsys):
+        """--workers parses and flows through (hardware tables ignore it)."""
+        assert main(["table5", "--workers", "2"]) == 0
+        assert "Table V" in capsys.readouterr().out
+
+    def test_workers_flag_rejects_nonpositive(self):
+        with pytest.raises(SystemExit):
+            main(["table5", "--workers", "0"])
+
+
+class TestParallelTraining:
+    def test_build_gemm_selects_executor(self):
+        from repro.emu import GemmConfig, ParallelQuantizedGemm, QuantizedGemm
+        from repro.experiments.training import build_gemm
+
+        assert build_gemm(None) is None
+        serial = build_gemm(GemmConfig.sr(9))
+        assert isinstance(serial, QuantizedGemm)
+        assert not isinstance(serial, ParallelQuantizedGemm)
+        parallel = build_gemm(GemmConfig.sr(9), workers=2)
+        assert isinstance(parallel, ParallelQuantizedGemm)
+        assert parallel.scheduler.workers == 2
+
+    def test_train_once_with_workers(self):
+        """A short training run through the tiled-parallel executor."""
+        from repro.data import make_cifar10_like
+        from repro.emu import GemmConfig
+        from repro.experiments.training import TrainingScale, train_once
+
+        scale = TrainingScale("testing", 64, 32, 8, 1, 32, "mlp", 16,
+                              lr=0.05, weight_decay=1e-4)
+        dataset = make_cifar10_like(64, 32, 8, seed=0)
+        accuracy = train_once(dataset, scale, GemmConfig.sr(9, seed=1),
+                              seed=1, workers=2)
+        assert 0.0 <= accuracy <= 100.0

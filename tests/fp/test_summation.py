@@ -101,6 +101,47 @@ class TestStagnationOrdering:
         assert abs(got - exact) / exact < 0.02
 
 
+class _SpyPolicy:
+    """Wraps a policy, recording how many elements each round touches."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.sizes = []
+
+    def round(self, values):
+        self.sizes.append(int(np.size(values)))
+        return self.inner.round(values)
+
+
+class TestPairwiseTreeStructure:
+    """The odd tail is carried unrounded (wiring, not an adder), exactly
+    like :class:`repro.emu.engine.PairwiseEngine`."""
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 6, 7, 17, 37, 100, 257])
+    def test_n_minus_one_rounded_additions(self, rng, n):
+        """A tree over n leaves has exactly n-1 two-input adders; the
+        zero-padding bug rounded extra spurious ``x + 0.0`` elements."""
+        spy = _SpyPolicy(RoundingPolicy.rn(FP12_E6M5))
+        pairwise_sum(rng.normal(size=n), spy)
+        # sizes[0] is the input cast; the rest are adder outputs
+        assert sum(spy.sizes[1:]) == n - 1
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 9, 13, 37, 64, 101])
+    def test_matches_pairwise_engine_on_rn(self, rng, n):
+        """fp.summation.pairwise_sum and PairwiseEngine.reduce agree on
+        on-grid inputs under RN configs."""
+        from repro.emu.config import GemmConfig
+        from repro.emu.engine import PairwiseEngine
+
+        for fmt in (FP12_E6M5, FP16):
+            policy = RoundingPolicy.rn(fmt)
+            values = policy.round(rng.normal(size=n))  # on-grid leaves
+            got = pairwise_sum(values, policy)
+            config = GemmConfig(acc_format=fmt, rounding="nearest")
+            want = PairwiseEngine().reduce(values.reshape(n, 1), config)
+            assert got == float(np.asarray(want).reshape(-1)[0])
+
+
 class TestBlockedValidation:
     def test_invalid_block_raises(self):
         with pytest.raises(ValueError):

@@ -184,6 +184,111 @@ class TestModulePlumbing:
         assert grad_in.shape == (3, 4)
 
 
+class TestScalerStepOrdering:
+    """Regression: the scaler must grow *after* unscale/step, or every
+    growth_interval-th step unscales by the doubled scale (halving the
+    effective LR on exactly those steps)."""
+
+    @staticmethod
+    def _trainer(use_scaling, rng_seed=0):
+        from repro.nn.trainer import Trainer
+
+        model = Sequential(Linear(4, 8, rng=np.random.default_rng(rng_seed)),
+                           ReLU(),
+                           Linear(8, 2, rng=np.random.default_rng(rng_seed)))
+        return Trainer(model, lr=0.1, epochs=1, weight_decay=0.0,
+                       use_loss_scaling=use_scaling)
+
+    def test_growth_step_gradient_magnitude(self, rng):
+        """On the growth step, scaled and unscaled training must produce
+        bit-identical parameter updates: scale/unscale by powers of two
+        are exact, so any difference is an ordering bug."""
+        x = rng.normal(size=(16, 4))
+        labels = (x[:, 0] > 0).astype(np.int64)
+        scaled = self._trainer(True)
+        plain = self._trainer(False)
+        scaled.scaler.growth_interval = 1  # every good step is a growth step
+        for _ in range(3):
+            scaled.train_batch(x, labels)
+            plain.train_batch(x, labels)
+        for p_scaled, p_plain in zip(scaled.model.parameters(),
+                                     plain.model.parameters()):
+            assert np.array_equal(p_scaled.data, p_plain.data)
+
+    def test_scale_still_grows_and_backs_off(self, rng):
+        trainer = self._trainer(True)
+        trainer.scaler.growth_interval = 2
+        x = rng.normal(size=(8, 4))
+        labels = (x[:, 0] > 0).astype(np.int64)
+        initial = trainer.scaler.scale
+        trainer.train_batch(x, labels)
+        assert trainer.scaler.scale == initial  # not yet
+        trainer.train_batch(x, labels)
+        assert trainer.scaler.scale == 2 * initial  # grew after interval
+        trainer.train_batch(np.array([[np.inf, 1.0, 0.0, 0.0]]),
+                            np.array([0]))
+        assert trainer.scaler.scale == initial  # backed off
+        assert trainer.scaler.skipped_steps == 1
+
+
+class TestEpochLrReporting:
+    """Regression: EpochStats.lr is the rate the epoch trained with, not
+    the next epoch's (the scheduler steps *after* recording)."""
+
+    def test_history_lr_lags_scheduler(self, rng):
+        from repro.nn.trainer import Trainer
+
+        model = Sequential(Linear(2, 2, rng=rng))
+        trainer = Trainer(model, lr=0.5, epochs=4, weight_decay=0.0)
+        x = rng.normal(size=(6, 2))
+        labels = np.array([0, 1, 0, 1, 0, 1])
+
+        def loader():
+            yield x, labels
+
+        result = trainer.fit(loader, loader)
+        lrs = [s.lr for s in result.history]
+        # epoch 0 trains at the base rate; epoch t at cosine(t)
+        assert lrs[0] == pytest.approx(0.5)
+        expected = [0.5]
+        sched = CosineAnnealingLR(SGD([Parameter(np.zeros(1))], lr=0.5),
+                                  t_max=4)
+        for _ in range(3):
+            expected.append(sched.step())
+        assert lrs == pytest.approx(expected)
+
+
+class TestTrainAccuracyBookkeeping:
+    def test_last_probs_exposed(self, rng):
+        loss = CrossEntropyLoss()
+        with pytest.raises(RuntimeError):
+            loss.last_probs
+        logits = rng.normal(size=(4, 3))
+        loss(logits, np.array([0, 1, 2, 0]))
+        from repro.nn.functional import softmax
+
+        assert np.array_equal(loss.last_probs, softmax(logits))
+
+    def test_train_accuracy_uses_pre_step_forward(self, rng):
+        """The recorded train accuracy comes from each batch's forward
+        pass (before that batch's update)."""
+        from repro.nn.functional import softmax
+        from repro.nn.trainer import Trainer
+
+        model = Sequential(Linear(3, 2, rng=rng))
+        x = rng.normal(size=(10, 3))
+        labels = rng.integers(0, 2, size=10)
+        expected = np.argmax(softmax(model(x)), axis=1)
+        trainer = Trainer(model, lr=0.05, epochs=1, weight_decay=0.0)
+
+        def loader():
+            yield x, labels
+
+        result = trainer.fit(loader, loader)
+        want = float(np.mean(expected == labels))
+        assert result.history[0].train_accuracy == pytest.approx(want)
+
+
 class TestTrainer:
     def test_loss_decreases_on_separable_data(self, rng):
         from repro.nn.trainer import Trainer

@@ -94,3 +94,37 @@ class TestVectorLFSR:
     def test_unknown_width_raises(self):
         with pytest.raises(ValueError):
             VectorLFSR(64, lanes=4)
+
+
+class TestJump:
+    """GF(2) matrix-exponentiation leapfrog vs cycle-by-cycle stepping."""
+
+    @pytest.mark.parametrize("width", [4, 9, 13, 27, 32])
+    @pytest.mark.parametrize("steps", [1, 2, 7, 1000])
+    def test_jump_equals_stepping(self, width, steps):
+        stepped = VectorLFSR(width, lanes=8, seed=3)
+        jumped = VectorLFSR(width, lanes=8, seed=3)
+        for _ in range(steps):
+            stepped.step()
+        jumped.jump(steps)
+        assert np.array_equal(stepped.states, jumped.states)
+
+    def test_large_jump_stays_nonzero(self):
+        vec = VectorLFSR(9, lanes=64, seed=5)
+        vec.jump((1 << 40) + 12345)
+        assert np.all(vec.states != 0)
+        assert np.all(vec.states < (1 << 9))
+
+    def test_jump_composes(self):
+        a = VectorLFSR(13, lanes=8, seed=2)
+        b = VectorLFSR(13, lanes=8, seed=2)
+        a.jump(300)
+        a.jump(53)
+        b.jump(353)
+        assert np.array_equal(a.states, b.states)
+
+    def test_nonpositive_jump_is_noop(self):
+        vec = VectorLFSR(9, lanes=4, seed=1)
+        before = vec.states.copy()
+        vec.jump(0)
+        assert np.array_equal(vec.states, before)
