@@ -1,12 +1,20 @@
 """Synthetic datasets and batch loading."""
 
 from .loaders import BatchLoader, augment, loaders_for
+from .sequences import (
+    SequenceDataset,
+    make_sequence_classification,
+    sequence_loaders_for,
+)
 from .synthetic import Dataset, make_cifar10_like, make_imagewoof_like
 
 __all__ = [
     "Dataset",
     "make_cifar10_like",
     "make_imagewoof_like",
+    "SequenceDataset",
+    "make_sequence_classification",
+    "sequence_loaders_for",
     "BatchLoader",
     "augment",
     "loaders_for",

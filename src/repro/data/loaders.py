@@ -46,13 +46,17 @@ class BatchLoader:
     Calling the loader returns a fresh iterator, so it can serve as the
     ``train_loader_fn`` / ``test_loader_fn`` of
     :class:`repro.nn.trainer.Trainer`.
+
+    ``dtype`` is the dtype batches are served in — float64 for image
+    tensors (the default), ``np.int64`` for token-id sequences (see
+    :func:`repro.data.sequences.sequence_loaders_for`).
     """
 
     def __init__(self, images: np.ndarray, labels: np.ndarray,
                  batch_size: int = 128, shuffle: bool = True,
                  augment_data: bool = False, seed: int = 0,
-                 drop_last: bool = False):
-        self.images = np.asarray(images, dtype=np.float64)
+                 drop_last: bool = False, dtype=np.float64):
+        self.images = np.asarray(images, dtype=dtype)
         self.labels = np.asarray(labels, dtype=np.int64)
         self.batch_size = batch_size
         self.shuffle = shuffle

@@ -52,6 +52,13 @@ class GemmConfig:
         accumulator with exact width-``c`` partial sums).  Ignored when
         ``per_step`` is false (the reduction is then exact by
         definition).
+
+    Example::
+
+        from repro.emu import GemmConfig, matmul
+        out = matmul(a, b, GemmConfig.sr(9))          # paper's datapath
+        base = matmul(a, b, GemmConfig.fp32_baseline())
+        tree = matmul(a, b, GemmConfig.sr(9, accum_order="pairwise"))
     """
 
     mul_format: Optional[FPFormat] = None
@@ -124,6 +131,11 @@ def paper_table3_config(row_kind: str, rbits: Optional[int] = None,
     ``row_kind`` in {"baseline", "rn_fp16", "rn_bf16", "rn_e6m5", "sr"};
     ``accum_order`` selects the accumulation engine for datapath
     ablations (ignored by the exact baseline).
+
+    Example::
+
+        config = paper_table3_config("sr", rbits=13, seed=1)
+        assert config.label == "SR E6M5 r=13"
     """
     from ..fp.formats import BF16
 

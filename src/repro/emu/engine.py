@@ -81,6 +81,10 @@ def round_partial(values: np.ndarray, config, *,
     supplies pre-drawn SR integers; when omitted, they are drawn from
     ``config.stream`` on the spot — the two are bit-identical by the
     bulk-draw contract of :mod:`repro.prng.streams`.
+
+    Example (the one call a custom engine needs — docs/extending.md)::
+
+        acc = round_partial(acc + product, config)
     """
     fmt = config.acc_format
     if config.rounding == "nearest":
@@ -109,7 +113,14 @@ def round_partial(values: np.ndarray, config, *,
 
 
 class AccumulationEngine(ABC):
-    """One accumulation-order policy for the emulated GEMM datapath."""
+    """One accumulation-order policy for the emulated GEMM datapath.
+
+    Example (subclassing is the extension seam — docs/extending.md)::
+
+        engine = get_engine("chunked(8)")
+        out = engine.gemm(aq, bq, config)     # (B, M, K) @ (B, K, N)
+        col = engine.reduce(terms, config)    # (K, ...) along axis 0
+    """
 
     #: Registry name (``chunked`` instances carry their parameter).
     name: str = "?"
@@ -155,6 +166,10 @@ class SequentialEngine(AccumulationEngine):
     bulk up front, all buffers preallocated, and the rounding routed
     through the allocation-free ``out=`` kernel.  Verified bit-identical
     to the seed implementation by the engine-equivalence test suite.
+
+    Example::
+
+        out = matmul(a, b, GemmConfig.sr(9))  # accum_order defaults here
     """
 
     name = "sequential"
@@ -283,6 +298,10 @@ class PairwiseEngine(AccumulationEngine):
     within each N-block (block width fixed by the logical shape and the
     frozen ``_PAIRWISE_BLOCK_BYTES``), vectorized over all pairs of the
     level — a deterministic draw order given the config's stream.
+
+    Example::
+
+        out = matmul(a, b, GemmConfig.sr(9, accum_order="pairwise"))
     """
 
     name = "pairwise"
@@ -330,6 +349,11 @@ class ChunkedEngine(AccumulationEngine):
     internal precision — and the running total is rounded into the
     accumulator format once per chunk boundary.  The chunk sums use BLAS
     matmuls, so larger chunks are also much faster than the MAC chain.
+
+    Example::
+
+        out = matmul(a, b, GemmConfig.sr(9, accum_order="chunked(32)"))
+        assert get_engine("chunked(32)").chunk == 32
     """
 
     name = "chunked"
@@ -380,6 +404,11 @@ def get_engine(name) -> AccumulationEngine:
     (``"sequential"``, ``"pairwise"``, ``"chunked"``) or a
     parameterized spec like ``"chunked(8)"`` for registry entries whose
     constructor takes an integer.
+
+    Example::
+
+        get_engine("sequential")          # singleton SequentialEngine
+        get_engine("chunked(8)").chunk    # 8
     """
     if isinstance(name, AccumulationEngine):
         return name
@@ -401,5 +430,10 @@ def get_engine(name) -> AccumulationEngine:
 
 
 def available_orders() -> tuple:
-    """The accumulation-order names accepted by :func:`get_engine`."""
+    """The accumulation-order names accepted by :func:`get_engine`.
+
+    Example::
+
+        assert "sequential" in available_orders()
+    """
     return tuple(sorted(ENGINES))

@@ -56,7 +56,13 @@ def _cast_one(x: np.ndarray, config: GemmConfig) -> np.ndarray:
 
 def cast_inputs(a: np.ndarray, b: np.ndarray,
                 config: GemmConfig) -> Tuple[np.ndarray, np.ndarray]:
-    """Cast GEMM inputs to the multiplier format (round-to-nearest)."""
+    """Cast GEMM inputs to the multiplier format (round-to-nearest).
+
+    Example::
+
+        aq, bq = cast_inputs(a, b, GemmConfig.sr(9))   # FP8 E5M2 grids
+        out = matmul(aq, bq, GemmConfig.sr(9), cast=False)
+    """
     if config.mul_format is None:
         return np.asarray(a, np.float64), np.asarray(b, np.float64)
     return _cast_one(a, config), _cast_one(b, config)
@@ -71,6 +77,12 @@ def matmul_batched(a: np.ndarray, b: np.ndarray, config: GemmConfig,
     exact product for the baseline config).  Set ``cast=False`` if the
     inputs are already in the multiplier format.  The accumulation order
     is selected by ``config.accum_order``.
+
+    Example::
+
+        a = rng.normal(size=(8, 16, 64))   # e.g. per-head Q stacks
+        b = rng.normal(size=(8, 64, 16))
+        out = matmul_batched(a, b, GemmConfig.sr(9))   # (8, 16, 16)
     """
     a = np.asarray(a, np.float64)
     b = np.asarray(b, np.float64)
@@ -97,6 +109,10 @@ def matmul(a: np.ndarray, b: np.ndarray, config: GemmConfig,
     baseline config).  Set ``cast=False`` if the inputs are already in
     the multiplier format.  Thin 2D wrapper over
     :func:`matmul_batched`.
+
+    Example::
+
+        out = matmul(a, b, GemmConfig.sr(9))           # (M, K) @ (K, N)
     """
     a = np.asarray(a, np.float64)
     b = np.asarray(b, np.float64)
@@ -113,6 +129,12 @@ def reference_matmul(a: np.ndarray, b: np.ndarray, config: GemmConfig,
     step — the unfused implementation the ``sequential`` engine is
     verified bit-identical against (and benchmarked against in
     ``benchmarks/bench_engines.py``).
+
+    Example::
+
+        ref = reference_matmul(a, b, GemmConfig.sr(9, seed=1))
+        fused = matmul(a, b, GemmConfig.sr(9, seed=1))
+        assert np.array_equal(ref, fused)
     """
     a = np.asarray(a, np.float64)
     b = np.asarray(b, np.float64)
@@ -142,7 +164,12 @@ def _round_acc(values: np.ndarray, config: GemmConfig) -> np.ndarray:
 
 
 def dot(x: np.ndarray, w: np.ndarray, config: GemmConfig) -> float:
-    """Emulated inner product (one MAC lane): 1D convenience wrapper."""
+    """Emulated inner product (one MAC lane): 1D convenience wrapper.
+
+    Example::
+
+        y = dot(np.ones(256), np.ones(256), GemmConfig.sr(9))
+    """
     result = matmul(x.reshape(1, -1), w.reshape(-1, 1), config)
     return float(result[0, 0])
 
@@ -155,6 +182,11 @@ def sum_reduce(values: np.ndarray, config: GemmConfig,
     end to end.  Equivalent to a GEMM against a vector of ones without
     the input cast; dispatches to the same accumulation engine as
     :func:`matmul`.
+
+    Example::
+
+        grads = rng.normal(size=(128, 10))
+        bias_grad = sum_reduce(grads, GemmConfig.sr(9), axis=0)  # (10,)
     """
     arr = np.asarray(values, np.float64)
     if config.acc_format is None:
@@ -177,6 +209,13 @@ class QuantizedGemm:
     operands, routing both through :func:`matmul_batched`.  The dynamic
     loss scaler watches :attr:`overflow_count` to decide when to back
     off the scaling factor.
+
+    Example::
+
+        gemm = QuantizedGemm(GemmConfig.sr(9, seed=3))
+        layer = Linear(128, 32, gemm=gemm)      # plugs into any layer
+        out = gemm(a, b)                        # or call directly
+        gemm.call_count, gemm.overflow_count
     """
 
     def __init__(self, config: GemmConfig):

@@ -203,6 +203,12 @@ class TileScheduler:
     affect results.  ``backend`` selects process workers (default; true
     parallelism for the python-loop engines) or threads (zero-copy,
     useful for debugging and small problems).
+
+    Example::
+
+        scheduler = TileScheduler(workers=4, backend="process")
+        out = parallel_matmul_batched(a, b, GemmConfig.sr(9),
+                                      scheduler=scheduler)
     """
 
     def __init__(self, workers: int = 1, tile_rows: Optional[int] = None,
@@ -316,6 +322,14 @@ def parallel_matmul_batched(a: np.ndarray, b: np.ndarray, config, *,
     is sharded into :data:`BLOCK_ROWS` row blocks executed under
     key-derived substreams (see module docstring for the draw-order
     contract).
+
+    Example::
+
+        out4 = parallel_matmul_batched(a, b, GemmConfig.sr(9, seed=1),
+                                       scheduler=TileScheduler(workers=4))
+        out1 = parallel_matmul_batched(a, b, GemmConfig.sr(9, seed=1),
+                                       scheduler=TileScheduler(workers=1))
+        assert np.array_equal(out1, out4)   # worker-count invariant
     """
     a = np.asarray(a, np.float64)
     b = np.asarray(b, np.float64)
@@ -358,6 +372,12 @@ class ParallelQuantizedGemm(QuantizedGemm):
     ``gemm_rows_streamed``, ``gemm_outer_rows``) that the tiled-im2col
     convolution path uses to keep peak memory bounded by the tile size
     instead of the full column matrix.
+
+    Example::
+
+        gemm = ParallelQuantizedGemm(GemmConfig.sr(9, seed=1), workers=4)
+        layer = Conv2d(3, 16, 3, gemm=gemm)   # tiled-im2col path
+        attn = MultiHeadAttention(64, 8, gemm=gemm)  # per-head sharding
     """
 
     def __init__(self, config, *, workers: int = 1,

@@ -1,6 +1,6 @@
 """Experiment harnesses: one runner per paper table/figure.
 
-See DESIGN.md section 4 for the per-experiment index and
+See DESIGN.md section 5 for the per-experiment index and
 ``python -m repro.experiments.runner --help`` for the CLI.
 """
 

@@ -6,6 +6,8 @@ Usage::
     python -m repro.experiments.runner table3 --scale small
     python -m repro.experiments.runner table4 --scale small
     python -m repro.experiments.runner table3 --scale tiny --accum-order pairwise
+    python -m repro.experiments.runner transformer --scale tiny
+    python -m repro.experiments.runner transformer --scale small --workers 4
     python -m repro.experiments.runner validation
     python -m repro.experiments.runner all --scale tiny
 
@@ -20,6 +22,11 @@ executor (:mod:`repro.emu.parallel`); results are bit-identical for
 any ``N >= 2`` at the same seed (key-derived substream draw order —
 intentionally distinct from the default serial path, which stays
 bit-compatible with earlier releases).
+
+``transformer`` runs the attention workload sweep
+(:mod:`repro.experiments.transformer`).  It always executes on the
+tiled-parallel draw order, so — unlike tables III/IV — its results are
+bit-identical for *any* ``--workers`` value, including 1.
 """
 
 from __future__ import annotations
@@ -28,7 +35,7 @@ import argparse
 import sys
 import time
 
-from . import hardware, training, validation
+from . import hardware, training, transformer, validation
 
 
 def _print(text: str) -> None:
@@ -71,6 +78,13 @@ def run_experiment(name: str, scale: str,
     elif name == "fig5":
         _print("== Fig. 5: MAC-level cost curves ==")
         _print(hardware.format_fig5(hardware.run_fig5()))
+    elif name == "transformer":
+        _print(f"== Transformer: accuracy vs r on the attention workload "
+               f"(scale={scale}, accum={accum_order}, workers={workers}) ==")
+        rows = transformer.run_transformer(scale, log=_print,
+                                           accum_order=accum_order,
+                                           workers=workers)
+        _print(transformer.format_transformer_rows(rows))
     elif name == "validation":
         _print("== Sec. III-B: brute-force eager SR validation ==")
         report = validation.validate_eager_sr(pair_stride=4)
@@ -80,7 +94,8 @@ def run_experiment(name: str, scale: str,
     _print(f"[{name} done in {time.time() - start:.1f}s]\n")
 
 
-ALL = ["table1", "table2", "table5", "fig5", "validation", "table3", "table4"]
+ALL = ["table1", "table2", "table5", "fig5", "validation", "table3", "table4",
+       "transformer"]
 
 
 def main(argv=None) -> int:
@@ -89,10 +104,11 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("experiments", nargs="+",
                         help="table1 table2 table3 table4 table5 fig5 "
-                             "validation, or 'all'")
+                             "transformer validation, or 'all'")
     parser.add_argument("--scale", default="small",
                         choices=sorted(training.SCALES),
-                        help="training scale preset for tables III/IV")
+                        help="training scale preset for tables III/IV and "
+                             "the transformer sweep")
     parser.add_argument("--accum-order", default="sequential",
                         help="GEMM accumulation engine for tables III/IV: "
                              "sequential, pairwise, chunked or chunked(<c>)")

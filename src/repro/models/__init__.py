@@ -1,12 +1,15 @@
-"""Model zoo: ResNet / VGG / MLP / small CNN with pluggable GEMMs."""
+"""Model zoo: ResNet / VGG / MLP / CNN / transformer with pluggable GEMMs."""
 
 from .mlp import MLP
 from .resnet import BasicBlock, Bottleneck, ResNet, resnet8, resnet20, resnet50_style
 from .simple_cnn import SimpleCNN
+from .transformer import TinyTransformer, TransformerBlock
 from .vgg import VGG, VGG16_CFG, vgg16, vgg_small
 
 __all__ = [
     "MLP",
+    "TinyTransformer",
+    "TransformerBlock",
     "SimpleCNN",
     "ResNet",
     "BasicBlock",

@@ -5,16 +5,29 @@ the bit-accurate MAC emulation in :mod:`repro.emu`, reproducing the
 paper's low-precision training flow.
 """
 
-from .functional import col2im, conv_output_size, im2col, one_hot, softmax
+from .functional import (
+    col2im,
+    conv_output_size,
+    gelu,
+    gelu_grad,
+    im2col,
+    one_hot,
+    softmax,
+)
 from .layers import (
     BatchNorm1d,
     BatchNorm2d,
     Conv2d,
     Dropout,
+    Embedding,
     Flatten,
+    GELU,
     GlobalAvgPool2d,
+    LayerNorm,
     Linear,
     MaxPool2d,
+    MultiHeadAttention,
+    PositionalEmbedding,
     ReLU,
 )
 from .loss import CrossEntropyLoss, MSELoss
@@ -32,6 +45,11 @@ __all__ = [
     "Linear",
     "Conv2d",
     "ReLU",
+    "GELU",
+    "LayerNorm",
+    "Embedding",
+    "PositionalEmbedding",
+    "MultiHeadAttention",
     "BatchNorm1d",
     "BatchNorm2d",
     "MaxPool2d",
@@ -51,5 +69,7 @@ __all__ = [
     "col2im",
     "conv_output_size",
     "softmax",
+    "gelu",
+    "gelu_grad",
     "one_hot",
 ]

@@ -1,9 +1,16 @@
-"""Array utilities: im2col/col2im, softmax, one-hot encoding.
+"""Array utilities: im2col/col2im, softmax, GELU, one-hot encoding.
 
 The convolution layers lower to GEMM via im2col so that *every*
 multiply-accumulate of the network flows through the emulated MAC, as in
 the paper's training flow ("all GEMM operations during training (FWD and
-BWD passes) are performed using low-precision MAC units").
+BWD passes) are performed using low-precision MAC units").  The
+pointwise nonlinearities collected here (softmax, GELU) stay in full
+precision — they are not GEMMs, matching the mixed-precision convention
+documented in ``docs/architecture.md``.
+
+This module is the curated doctest module of the tier-1 run: every
+public function carries a runnable usage example, executed by
+``pytest --doctest-modules`` (enabled in ``pyproject.toml``).
 """
 
 from __future__ import annotations
@@ -14,13 +21,29 @@ import numpy as np
 
 
 def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
-    """Spatial output size of a convolution along one dimension."""
+    """Spatial output size of a convolution along one dimension.
+
+    Example::
+
+        >>> conv_output_size(8, kernel=3, stride=1, pad=1)  # 'same' conv
+        8
+        >>> conv_output_size(8, kernel=3, stride=2, pad=1)
+        4
+    """
     return (size + 2 * pad - kernel) // stride + 1
 
 
 def im2col(x: np.ndarray, kernel: int, stride: int = 1,
            pad: int = 0) -> Tuple[np.ndarray, Tuple[int, int]]:
-    """Unfold ``(N, C, H, W)`` into ``(N * OH * OW, C * K * K)`` patches."""
+    """Unfold ``(N, C, H, W)`` into ``(N * OH * OW, C * K * K)`` patches.
+
+    Example::
+
+        >>> x = np.arange(2 * 3 * 4 * 4, dtype=np.float64).reshape(2, 3, 4, 4)
+        >>> cols, (oh, ow) = im2col(x, kernel=3, stride=1, pad=1)
+        >>> cols.shape, (oh, ow)
+        ((32, 27), (4, 4))
+    """
     n, c, h, w = x.shape
     oh = conv_output_size(h, kernel, stride, pad)
     ow = conv_output_size(w, kernel, stride, pad)
@@ -38,7 +61,16 @@ def im2col(x: np.ndarray, kernel: int, stride: int = 1,
 
 def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int], kernel: int,
            stride: int = 1, pad: int = 0) -> np.ndarray:
-    """Fold patch gradients back onto the input tensor (im2col adjoint)."""
+    """Fold patch gradients back onto the input tensor (im2col adjoint).
+
+    Example::
+
+        >>> x = np.ones((1, 2, 4, 4))
+        >>> cols, _ = im2col(x, kernel=1, stride=1, pad=0)
+        >>> back = col2im(cols, x.shape, kernel=1, stride=1, pad=0)
+        >>> bool(np.array_equal(back, x))  # K=1 round-trips exactly
+        True
+    """
     n, c, h, w = x_shape
     oh = conv_output_size(h, kernel, stride, pad)
     ow = conv_output_size(w, kernel, stride, pad)
@@ -66,6 +98,15 @@ class PatchRows:
     exact layout of :func:`im2col` — row ``((n * OH) + oy) * OW + ox``,
     columns ordered ``(c, ky, kx)``.  Instances are picklable, so pool
     workers rebuild their own tiles from one shipped copy of the input.
+
+    Example::
+
+        >>> x = np.arange(9, dtype=np.float64).reshape(1, 1, 3, 3)
+        >>> rows = PatchRows(x, kernel=1)
+        >>> rows.n_rows, rows.n_cols
+        (9, 1)
+        >>> bool(np.array_equal(rows(0, 9), x.reshape(9, 1)))
+        True
     """
 
     def __init__(self, x: np.ndarray, kernel: int, stride: int = 1,
@@ -131,6 +172,15 @@ def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
     ``RuntimeWarning: invalid value encountered in subtract`` — rows
     containing any non-finite logit deterministically yield NaN
     probabilities, which the loss scaler's overflow detection relies on.
+
+    Example::
+
+        >>> probs = softmax(np.array([[0.0, 0.0], [1.0, 3.0]]))
+        >>> np.round(probs, 4)
+        array([[0.5   , 0.5   ],
+               [0.1192, 0.8808]])
+        >>> bool(np.all(np.isnan(softmax(np.array([[np.inf, 0.0]])))))
+        True
     """
     peak = np.max(logits, axis=axis, keepdims=True)
     finite = np.isfinite(peak)
@@ -141,8 +191,57 @@ def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
     return np.where(finite, out, np.nan)
 
 
+#: tanh-approximation constants of GELU (Hendrycks & Gimpel, 2016).
+_GELU_C = np.sqrt(2.0 / np.pi)
+_GELU_A = 0.044715
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian Error Linear Unit (tanh approximation), full precision.
+
+    The transformer MLP nonlinearity.  Uses the standard tanh
+    approximation ``0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))``
+    so no ``erf`` dependency is needed; like every pointwise op in the
+    stack it runs in float64 — only GEMMs go through the emulated MAC.
+
+    Example::
+
+        >>> out = gelu(np.array([-1.0, 0.0, 1.0]))
+        >>> np.round(out, 4)
+        array([-0.1588,  0.    ,  0.8412])
+    """
+    x = np.asarray(x, np.float64)
+    return 0.5 * x * (1.0 + np.tanh(_GELU_C * (x + _GELU_A * x ** 3)))
+
+
+def gelu_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of :func:`gelu` with respect to its input.
+
+    Example::
+
+        >>> eps = 1e-6
+        >>> x = np.array([-0.7, 0.3, 1.9])
+        >>> fd = (gelu(x + eps) - gelu(x - eps)) / (2 * eps)
+        >>> bool(np.allclose(gelu_grad(x), fd, atol=1e-8))
+        True
+    """
+    x = np.asarray(x, np.float64)
+    inner = _GELU_C * (x + _GELU_A * x ** 3)
+    tanh = np.tanh(inner)
+    sech2 = 1.0 - tanh ** 2
+    return 0.5 * (1.0 + tanh) \
+        + 0.5 * x * sech2 * _GELU_C * (1.0 + 3.0 * _GELU_A * x ** 2)
+
+
 def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
-    """One-hot encode integer class labels into a float64 matrix."""
+    """One-hot encode integer class labels into a float64 matrix.
+
+    Example::
+
+        >>> one_hot(np.array([0, 2]), num_classes=3)
+        array([[1., 0., 0.],
+               [0., 0., 1.]])
+    """
     out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
     out[np.arange(labels.shape[0]), labels] = 1.0
     return out

@@ -16,7 +16,7 @@ from typing import Optional
 
 import numpy as np
 
-from .functional import PatchRows, col2im, im2col
+from .functional import PatchRows, col2im, gelu, gelu_grad, im2col, softmax
 from .init import kaiming_normal
 from .module import GemmFn, Module, Parameter, default_gemm
 
@@ -29,6 +29,14 @@ class Linear(Module):
     (input gradient and weight gradient) go through the GEMM callable's
     batched entry point, so every accumulation runs under the
     configured engine.
+
+    Example::
+
+        from repro.emu import GemmConfig, QuantizedGemm
+        layer = Linear(128, 32, gemm=QuantizedGemm(GemmConfig.sr(9)),
+                       rng=np.random.default_rng(0))
+        y = layer(x)                      # x: (N, 128) or (B, T, 128)
+        grad_x = layer.backward(grad_y)   # fills weight.grad/bias.grad
     """
 
     def __init__(self, in_features: int, out_features: int, *,
@@ -99,6 +107,12 @@ class Conv2d(Module):
     ``(N*OH*OW, C*K*K)`` column matrix (patches are regathered in
     backward — the standard recompute trade).  Otherwise the legacy
     whole-matrix im2col path is used, unchanged.
+
+    Example::
+
+        layer = Conv2d(3, 16, 3, gemm=QuantizedGemm(GemmConfig.sr(9)),
+                       rng=np.random.default_rng(0))
+        y = layer(x)                      # x: (N, 3, H, W) -> (N, 16, H, W)
     """
 
     def __init__(self, in_channels: int, out_channels: int, kernel: int, *,
@@ -180,6 +194,15 @@ class Conv2d(Module):
 
 
 class ReLU(Module):
+    """Rectified linear unit with cached mask for backward.
+
+    Example::
+
+        layer = ReLU()
+        y = layer(x)                      # max(x, 0)
+        grad_x = layer.backward(grad_y)   # grad where x > 0, else 0
+    """
+
     def __init__(self):
         super().__init__()
         self._mask: Optional[np.ndarray] = None
@@ -197,6 +220,12 @@ class BatchNorm2d(Module):
 
     Kept at full precision — normalization statistics are not GEMMs and
     the paper quantizes only the matrix-multiply datapath.
+
+    Example::
+
+        bn = BatchNorm2d(16)
+        y = bn(x)                         # x: (N, 16, H, W); training mode
+        bn.eval()                         # switch to running statistics
     """
 
     def __init__(self, channels: int, momentum: float = 0.1,
@@ -237,7 +266,13 @@ class BatchNorm2d(Module):
 
 
 class BatchNorm1d(Module):
-    """Batch normalization over feature vectors ``(N, F)``."""
+    """Batch normalization over feature vectors ``(N, F)``.
+
+    Example::
+
+        bn = BatchNorm1d(48)
+        y = bn(x)                         # x: (N, 48)
+    """
 
     def __init__(self, features: int, momentum: float = 0.1, eps: float = 1e-5):
         super().__init__()
@@ -274,7 +309,13 @@ class BatchNorm1d(Module):
 
 
 class MaxPool2d(Module):
-    """Non-overlapping max pooling (kernel == stride)."""
+    """Non-overlapping max pooling (kernel == stride).
+
+    Example::
+
+        pool = MaxPool2d(2)
+        y = pool(x)                       # (N, C, H, W) -> (N, C, H//2, W//2)
+    """
 
     def __init__(self, kernel: int):
         super().__init__()
@@ -305,7 +346,13 @@ class MaxPool2d(Module):
 
 
 class GlobalAvgPool2d(Module):
-    """Global average pooling ``(N, C, H, W) -> (N, C)``."""
+    """Global average pooling ``(N, C, H, W) -> (N, C)``.
+
+    Example::
+
+        pool = GlobalAvgPool2d()
+        features = pool(x)                # (N, C, H, W) -> (N, C)
+    """
 
     def __init__(self):
         super().__init__()
@@ -324,6 +371,14 @@ class GlobalAvgPool2d(Module):
 
 
 class Flatten(Module):
+    """Collapse all non-batch axes: ``(N, ...) -> (N, prod(...))``.
+
+    Example::
+
+        flat = Flatten()
+        y = flat(x)                       # (N, C, H, W) -> (N, C*H*W)
+    """
+
     def __init__(self):
         super().__init__()
         self._shape = None
@@ -336,8 +391,240 @@ class Flatten(Module):
         return grad_out.reshape(self._shape)
 
 
+class GELU(Module):
+    """Gaussian Error Linear Unit (tanh approximation), full precision.
+
+    Example::
+
+        layer = GELU()
+        out = layer(x)                    # 0.5 x (1 + tanh(...))
+        grad_x = layer.backward(grad_out)
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return gelu(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * gelu_grad(self._x)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the trailing feature dimension.
+
+    Accepts any ``(..., F)`` input; each feature vector is normalized
+    to zero mean / unit variance and rescaled by learned ``gamma`` /
+    ``beta``.  Kept at full precision: like batch norm, normalization
+    statistics are not GEMMs, and the paper quantizes only the
+    matrix-multiply datapath (see DESIGN.md section 6 for why this
+    matters in the attention block).
+
+    Example::
+
+        layer = LayerNorm(64)
+        y = layer(x)                      # x: (B, T, 64)
+        grad_x = layer.backward(grad_y)
+    """
+
+    def __init__(self, features: int, eps: float = 1e-5):
+        super().__init__()
+        self.features = features
+        self.eps = eps
+        self.gamma = Parameter(np.ones(features), name="ln.gamma")
+        self.beta = Parameter(np.zeros(features), name="ln.beta")
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std)
+        return self.gamma.data * x_hat + self.beta.data
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x_hat, inv_std = self._cache
+        axes = tuple(range(grad_out.ndim - 1))
+        self.gamma.grad += (grad_out * x_hat).sum(axis=axes)
+        self.beta.grad += grad_out.sum(axis=axes)
+        g = grad_out * self.gamma.data
+        mean_g = g.mean(axis=-1, keepdims=True)
+        mean_gx = (g * x_hat).mean(axis=-1, keepdims=True)
+        return (g - mean_g - x_hat * mean_gx) * inv_std
+
+
+class Embedding(Module):
+    """Token-id lookup table: ``(..., ) int -> (..., D) float64``.
+
+    The gather is not a GEMM, so it stays in full precision (weights
+    are float64 master copies updated by the optimizer, exactly like
+    every other parameter).  ``backward`` scatter-adds the output
+    gradient into the rows that were looked up and returns ``None`` —
+    token ids have no gradient.
+
+    Example::
+
+        embed = Embedding(vocab_size=16, dim=32, rng=rng)
+        x = embed(tokens)                 # tokens: (B, T) int -> (B, T, 32)
+    """
+
+    def __init__(self, vocab_size: int, dim: int, *,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.weight = Parameter(
+            rng.normal(0.0, 1.0 / np.sqrt(dim), size=(vocab_size, dim)),
+            name="embedding.weight",
+        )
+        self._ids: Optional[np.ndarray] = None
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids, dtype=np.int64)
+        self._ids = ids
+        return self.weight.data[ids]
+
+    def backward(self, grad_out: np.ndarray) -> Optional[np.ndarray]:
+        np.add.at(self.weight.grad, self._ids, grad_out)
+        return None
+
+
+class PositionalEmbedding(Module):
+    """Learned additive positional embedding for ``(B, T, D)`` inputs.
+
+    Adds position row ``t`` of a learned ``(max_len, D)`` table to every
+    sequence at step ``t``; the backward pass sums the output gradient
+    over the batch into the used rows and passes it through unchanged.
+
+    Example::
+
+        pos = PositionalEmbedding(max_len=64, dim=32, rng=rng)
+        x = pos(embed(tokens))            # x: (B, T, 32), T <= 64
+    """
+
+    def __init__(self, max_len: int, dim: int, *,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.max_len = max_len
+        self.dim = dim
+        self.weight = Parameter(
+            rng.normal(0.0, 1.0 / np.sqrt(dim), size=(max_len, dim)),
+            name="pos_embedding.weight",
+        )
+        self._seq_len: Optional[int] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        seq_len = x.shape[1]
+        if seq_len > self.max_len:
+            raise ValueError(
+                f"sequence length {seq_len} exceeds max_len {self.max_len}")
+        self._seq_len = seq_len
+        return x + self.weight.data[:seq_len]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        self.weight.grad[:self._seq_len] += grad_out.sum(axis=0)
+        return grad_out
+
+
+class MultiHeadAttention(Module):
+    """Multi-head self-attention whose GEMMs run on the emulated MAC.
+
+    All six matrix products of the attention datapath go through the
+    GEMM callable's *batched* entry point: the four ``(B, T, D)``
+    projections (Q/K/V/output, via :class:`Linear`) and — per head, as
+    ``(B*H, T, d_k)`` stacks — the ``Q K^T`` score product and the
+    ``A V`` context product, in forward and in all their backward
+    counterparts.  Softmax and the ``1/sqrt(d_k)`` scale stay in full
+    precision, like every non-GEMM op in the stack (DESIGN.md section
+    6 documents the exact split and the per-head substream keying
+    under the tiled-parallel executor, whose batch index is
+    ``b * n_heads + h``).
+
+    Example::
+
+        attn = MultiHeadAttention(d_model=32, n_heads=4, gemm=gemm, rng=rng)
+        y = attn(x)                       # x: (B, T, 32) -> (B, T, 32)
+        grad_x = attn.backward(grad_y)
+    """
+
+    def __init__(self, d_model: int, n_heads: int, *,
+                 gemm: Optional[GemmFn] = None,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if d_model % n_heads:
+            raise ValueError(
+                f"d_model {d_model} not divisible by n_heads {n_heads}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.d_model = d_model
+        self.n_heads = n_heads
+        self.d_head = d_model // n_heads
+        self.scale = 1.0 / np.sqrt(self.d_head)
+        self.gemm = gemm if gemm is not None else default_gemm
+        self.q_proj = Linear(d_model, d_model, gemm=self.gemm, rng=rng)
+        self.k_proj = Linear(d_model, d_model, gemm=self.gemm, rng=rng)
+        self.v_proj = Linear(d_model, d_model, gemm=self.gemm, rng=rng)
+        self.out_proj = Linear(d_model, d_model, gemm=self.gemm, rng=rng)
+        self._cache = None
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        """``(B, T, D) -> (B*H, T, d_head)`` (head-major batch)."""
+        batch, seq, _ = x.shape
+        return x.reshape(batch, seq, self.n_heads, self.d_head) \
+                .transpose(0, 2, 1, 3) \
+                .reshape(batch * self.n_heads, seq, self.d_head)
+
+    def _merge_heads(self, x: np.ndarray, batch: int) -> np.ndarray:
+        """Inverse of :meth:`_split_heads`."""
+        seq = x.shape[1]
+        return x.reshape(batch, self.n_heads, seq, self.d_head) \
+                .transpose(0, 2, 1, 3) \
+                .reshape(batch, seq, self.d_model)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch = x.shape[0]
+        q = self._split_heads(self.q_proj(x))
+        k = self._split_heads(self.k_proj(x))
+        v = self._split_heads(self.v_proj(x))
+        # (B*H, T, T) score product on the quantized datapath; the
+        # 1/sqrt(d_k) scale is a pointwise FP64 op on the result.
+        scores = self.gemm(q, k.transpose(0, 2, 1)) * self.scale
+        attn = softmax(scores, axis=-1)
+        context = self.gemm(attn, v)                # (B*H, T, d_head)
+        self._cache = (q, k, v, attn, batch)
+        return self.out_proj(self._merge_heads(context, batch))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        q, k, v, attn, batch = self._cache
+        grad_context = self._split_heads(self.out_proj.backward(grad_out))
+        grad_attn = self.gemm(grad_context, v.transpose(0, 2, 1))
+        grad_v = self.gemm(attn.transpose(0, 2, 1), grad_context)
+        # softmax backward stays FP64, like the forward softmax
+        grad_scores = attn * (grad_attn
+                              - (grad_attn * attn).sum(axis=-1, keepdims=True))
+        grad_scores = grad_scores * self.scale
+        grad_q = self.gemm(grad_scores, k)
+        grad_k = self.gemm(grad_scores.transpose(0, 2, 1), q)
+        grad_x = self.q_proj.backward(self._merge_heads(grad_q, batch))
+        grad_x = grad_x + self.k_proj.backward(self._merge_heads(grad_k, batch))
+        grad_x = grad_x + self.v_proj.backward(self._merge_heads(grad_v, batch))
+        return grad_x
+
+
 class Dropout(Module):
-    """Inverted dropout (active only in training mode)."""
+    """Inverted dropout (active only in training mode).
+
+    Example::
+
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        y = drop(x)                       # mask + 1/keep scaling
+        drop.eval()                       # identity at evaluation
+    """
 
     def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None):
         super().__init__()

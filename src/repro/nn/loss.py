@@ -14,6 +14,12 @@ class CrossEntropyLoss:
 
     ``forward`` returns the mean loss; ``backward`` returns the gradient
     with respect to the logits (already divided by the batch size).
+
+    Example::
+
+        criterion = CrossEntropyLoss()
+        loss = criterion(logits, labels)  # float
+        model.backward(criterion.backward())
     """
 
     def __init__(self):
@@ -49,7 +55,14 @@ class CrossEntropyLoss:
 
 
 class MSELoss:
-    """Mean squared error over arbitrary-shaped targets."""
+    """Mean squared error over arbitrary-shaped targets.
+
+    Example::
+
+        criterion = MSELoss()
+        loss = criterion(predictions, targets)
+        grad = criterion.backward()       # dLoss/dPredictions
+    """
 
     def __init__(self):
         self._cache = None

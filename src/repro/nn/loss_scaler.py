@@ -19,7 +19,18 @@ from .module import Parameter
 
 class DynamicLossScaler:
     """Adaptive loss-scale state machine: backoff on overflow, grow when
-    stable (see module docstring for the paper context)."""
+    stable (see module docstring for the paper context).
+
+    Example (the order :class:`repro.nn.Trainer` uses)::
+
+        scaler = DynamicLossScaler(init_scale=1024.0)
+        model.backward(scaler.scale_loss_grad(loss_grad))
+        overflow = not scaler.grads_finite(params)
+        if not overflow:
+            scaler.unscale(params)
+            optimizer.step()
+        scaler.update(overflow)           # backoff or grow
+    """
 
     def __init__(self, init_scale: float = 1024.0, growth_factor: float = 2.0,
                  backoff_factor: float = 0.5, growth_interval: int = 200,

@@ -12,6 +12,13 @@ class CosineAnnealingLR:
 
     "To modulate the learning rate throughout training, we employed a
     cosine annealing scheduler" (Sec. IV-A).
+
+    Example::
+
+        scheduler = CosineAnnealingLR(optimizer, t_max=epochs)
+        for epoch in range(epochs):
+            train_one_epoch(...)          # uses optimizer.lr
+            scheduler.step()              # decay for the next epoch
     """
 
     def __init__(self, optimizer: SGD, t_max: int, eta_min: float = 0.0):
@@ -33,7 +40,13 @@ class CosineAnnealingLR:
 
 
 class MultiStepLR:
-    """Step decay at the given epoch milestones."""
+    """Step decay at the given epoch milestones.
+
+    Example::
+
+        scheduler = MultiStepLR(optimizer, milestones=[30, 60], gamma=0.1)
+        scheduler.step()                  # x0.1 at epochs 30 and 60
+    """
 
     def __init__(self, optimizer: SGD, milestones, gamma: float = 0.1):
         self.optimizer = optimizer

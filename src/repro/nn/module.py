@@ -15,7 +15,14 @@ import numpy as np
 
 
 class Parameter:
-    """A trainable tensor with its gradient accumulator."""
+    """A trainable tensor with its gradient accumulator.
+
+    Example::
+
+        weight = Parameter(np.zeros((4, 3)), name="my.weight")
+        weight.grad += delta              # layers accumulate into .grad
+        weight.zero_grad()
+    """
 
     def __init__(self, data: np.ndarray, name: str = ""):
         self.data = np.asarray(data, dtype=np.float64)
@@ -34,7 +41,23 @@ class Parameter:
 
 
 class Module:
-    """Base class: explicit forward/backward with parameter discovery."""
+    """Base class: explicit forward/backward with parameter discovery.
+
+    Example::
+
+        class Scale(Module):
+            def __init__(self):
+                super().__init__()
+                self.alpha = Parameter(np.ones(1), name="scale.alpha")
+
+            def forward(self, x):
+                self._x = x
+                return self.alpha.data * x
+
+            def backward(self, grad_out):
+                self.alpha.grad += np.sum(grad_out * self._x)
+                return self.alpha.data * grad_out
+    """
 
     def __init__(self):
         self.training = True
@@ -101,7 +124,15 @@ class Module:
 
 
 class Sequential(Module):
-    """Chain of modules executed in order."""
+    """Chain of modules executed in order.
+
+    Example::
+
+        net = Sequential(Flatten(), Linear(64, 32), ReLU(),
+                         Linear(32, 10))
+        logits = net(x)
+        net.backward(grad_logits)         # reversed-order backward
+    """
 
     def __init__(self, *layers: Module):
         super().__init__()
@@ -135,5 +166,11 @@ GemmFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
 def default_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Full-precision GEMM (the FP32 baseline path); 2D or batched 3D."""
+    """Full-precision GEMM (the FP32 baseline path); 2D or batched 3D.
+
+    Example::
+
+        layer = Linear(8, 4)              # gemm=None -> default_gemm
+        assert layer.gemm is default_gemm
+    """
     return a @ b

@@ -15,6 +15,14 @@ class SGD:
     Matches the paper's training settings (Sec. IV-A): momentum 0.9,
     weight decay 1e-4 / 5e-4 depending on the model.  Updates apply to
     the full-precision master parameters.
+
+    Example::
+
+        optimizer = SGD(model.parameters(), lr=0.1, momentum=0.9,
+                        weight_decay=1e-4)
+        optimizer.zero_grad()
+        model.backward(loss_grad)         # fills Parameter.grad
+        optimizer.step()                  # master-precision update
     """
 
     def __init__(self, parameters: List[Parameter], lr: float,

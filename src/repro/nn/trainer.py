@@ -45,7 +45,17 @@ class TrainingResult:
 
 
 class Trainer:
-    """Drives training of a model on a dataset with the paper's recipe."""
+    """Drives training of a model on a dataset with the paper's recipe.
+
+    Example::
+
+        from repro.data import loaders_for, make_cifar10_like
+        dataset = make_cifar10_like(640, 200, 8, seed=0)
+        train_loader, test_loader = loaders_for(dataset, batch_size=128)
+        trainer = Trainer(model, lr=0.05, epochs=12, weight_decay=1e-4)
+        result = trainer.fit(train_loader, test_loader)
+        print(result.final_accuracy, result.best_accuracy)
+    """
 
     def __init__(self, model: Module, *, lr: float = 0.1,
                  momentum: float = 0.9, weight_decay: float = 1e-4,

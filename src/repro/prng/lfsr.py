@@ -83,6 +83,11 @@ class GaloisLFSR:
     shifted out is 1, the feedback mask is XORed into the register.  The
     state never reaches zero (all-ones reset by default), giving the full
     ``2**width - 1`` period with the default maximal-length polynomials.
+
+    Example::
+
+        lfsr = GaloisLFSR(width=9, seed=0x1FF)
+        draws = [lfsr.step() for _ in range(4)]   # 9-bit SR draws
     """
 
     def __init__(self, width: int, seed: Optional[int] = None,
@@ -184,6 +189,12 @@ class VectorLFSR:
     Used by the GEMM emulation when a bit-accurate hardware random stream
     is requested (one LFSR per MAC lane).  States are uint64; widths are
     limited to 32 bits like the scalar model.
+
+    Example::
+
+        bank = VectorLFSR(width=9, lanes=4096, seed=1)
+        states = bank.step()              # all lanes, one cycle
+        bank.jump(1 << 20)                # leapfrog without stepping
     """
 
     def __init__(self, width: int, lanes: int, seed: int = 1):

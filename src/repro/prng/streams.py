@@ -49,6 +49,11 @@ class RandomBitStream(Protocol):
     go through :func:`bulk_draws`, which falls back to stacking
     per-step draws for streams without it.  Streams used with the
     tiled-parallel executor must also expose ``spawn(key)``.
+
+    Example::
+
+        stream = SoftwareStream(seed=3)       # or LFSRStream(seed=3)
+        draws = stream.integers(9, (64, 32))  # uniform in [0, 2**9)
     """
 
     def integers(self, rbits: int, shape) -> np.ndarray:
@@ -61,6 +66,11 @@ def as_key_path(key) -> Tuple[int, ...]:
 
     Accepts a single integer or an arbitrarily nested tuple/list of
     integers (e.g. ``(call_key, batch, block)``).
+
+    Example::
+
+        assert as_key_path(((1, 2), 3)) == (1, 2, 3)
+        assert as_key_path(7) == (7,)
     """
     if isinstance(key, (tuple, list)):
         path: Tuple[int, ...] = ()
@@ -79,6 +89,11 @@ def bulk_draws(stream, rbits: int, steps: int, shape) -> np.ndarray:
     Third-party streams only need the single-call method; this helper
     falls back to stacking per-step draws, which is equivalent by the
     bulk contract.
+
+    Example::
+
+        draws = bulk_draws(stream, rbits=9, steps=256, shape=(64, 32))
+        draws.shape                       # (256, 64, 32)
     """
     bulk = getattr(stream, "integers_bulk", None)
     if bulk is not None:
@@ -87,7 +102,14 @@ def bulk_draws(stream, rbits: int, steps: int, shape) -> np.ndarray:
 
 
 class SoftwareStream:
-    """numpy-PCG64-backed stream (fast path for training emulation)."""
+    """numpy-PCG64-backed stream (fast path for training emulation).
+
+    Example::
+
+        stream = SoftwareStream(seed=3)
+        child = stream.spawn((0, 1, 2))   # key-derived substream
+        draws = child.integers(13, (8,))
+    """
 
     #: Per-``rbits`` result of the one-time self-check that the raw-word
     #: unpack below reproduces ``Generator.integers`` bit for bit on this
@@ -219,6 +241,13 @@ class LFSRStream:
     handful of substreams — the re-seeded lane states make the joint
     bank state the distinguishing axis, with the offset jump modeling
     the hardware's free-running-PRNG phase.
+
+    Example::
+
+        from repro.emu import GemmConfig
+        from dataclasses import replace
+        config = replace(GemmConfig.sr(9), stream=LFSRStream(seed=1))
+        # hardware-faithful SR draws for every GEMM under this config
     """
 
     def __init__(self, lanes: int = 4096, seed: int = 1, offset: int = 0,

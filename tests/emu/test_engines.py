@@ -75,7 +75,7 @@ class TestRegistry:
         assert get_engine("sequential").name == "sequential"
 
     def test_new_engine_is_a_registry_entry(self, rng):
-        """DESIGN.md section 5: registering in ENGINES is all it takes."""
+        """DESIGN.md section 7: registering in ENGINES is all it takes."""
         from repro.emu.engine import ENGINES
 
         class ReverseSequential(SequentialEngine):

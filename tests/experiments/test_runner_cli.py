@@ -26,7 +26,7 @@ class TestRunnerCli:
 
     def test_all_list_covers_every_artifact(self):
         assert set(ALL) == {"table1", "table2", "table3", "table4",
-                            "table5", "fig5", "validation"}
+                            "table5", "fig5", "validation", "transformer"}
 
     def test_table1_headline_output(self, capsys):
         run_experiment("table1", "tiny")
@@ -42,6 +42,36 @@ class TestRunnerCli:
     def test_workers_flag_rejects_nonpositive(self):
         with pytest.raises(SystemExit):
             main(["table5", "--workers", "0"])
+
+
+class TestTransformerExperiment:
+    def test_runner_emits_accuracy_table(self, capsys, monkeypatch):
+        """The full runner path at a micro scale (tier-1-friendly)."""
+        from repro.experiments import transformer as tx
+
+        micro = tx.TransformerScale("tiny", 32, 16, 8, 8, 4, 1, 32,
+                                    d_model=16, n_heads=2, depth=1,
+                                    lr=0.05, weight_decay=1e-4)
+        monkeypatch.setitem(tx.TRANSFORMER_SCALES, "tiny", micro)
+        monkeypatch.setattr(tx, "TRANSFORMER_ROWS",
+                            [("FP32 Baseline", "baseline", None),
+                             ("SR W/ Sub", "sr", 9)])
+        run_experiment("transformer", "tiny", workers=2)
+        out = capsys.readouterr().out
+        assert "accuracy vs r" in out
+        assert "FP32 Baseline" in out
+        assert "vs FP32" in out
+
+    def test_build_transformer_gemm_always_parallel(self):
+        """workers=1 still selects the tiled-parallel executor — the
+        draw order the workload's bit-identity acceptance relies on."""
+        from repro.emu import GemmConfig, ParallelQuantizedGemm
+        from repro.experiments.transformer import build_transformer_gemm
+
+        assert build_transformer_gemm(None) is None
+        gemm = build_transformer_gemm(GemmConfig.sr(9), workers=1)
+        assert isinstance(gemm, ParallelQuantizedGemm)
+        assert gemm.scheduler.workers == 1
 
 
 class TestParallelTraining:

@@ -1,0 +1,201 @@
+"""Transformer building blocks: gradient checks vs finite differences,
+plus quantized-GEMM integration of the attention datapath."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Embedding,
+    GELU,
+    LayerNorm,
+    MultiHeadAttention,
+    PositionalEmbedding,
+)
+
+
+def numerical_grad(fn, x, eps=1e-6):
+    """Central-difference gradient of scalar fn w.r.t. array x."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = fn()
+        flat[i] = orig - eps
+        minus = fn()
+        flat[i] = orig
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_input_gradient(layer, x, tol=1e-5):
+    def loss():
+        return float(np.sum(layer.forward(x)))
+
+    expected = numerical_grad(loss, x)
+    out = layer.forward(x)
+    got = layer.backward(np.ones_like(out))
+    assert np.allclose(got, expected, atol=tol), \
+        f"max err {np.max(np.abs(got - expected))}"
+
+
+def check_param_gradient(layer, x, param, tol=1e-5):
+    def loss():
+        return float(np.sum(layer.forward(x)))
+
+    expected = numerical_grad(loss, param.data)
+    param.zero_grad()
+    out = layer.forward(x)
+    layer.backward(np.ones_like(out))
+    assert np.allclose(param.grad, expected, atol=tol), \
+        f"max err {np.max(np.abs(param.grad - expected))}"
+
+
+class TestGELU:
+    def test_values(self):
+        from repro.nn.functional import gelu
+
+        out = gelu(np.array([-1.0, 0.0, 1.0]))
+        assert np.allclose(out, [-0.15880801, 0.0, 0.84119199], atol=1e-6)
+
+    def test_input_gradient(self, rng):
+        check_input_gradient(GELU(), rng.normal(size=(4, 6)))
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self, rng):
+        layer = LayerNorm(7)
+        out = layer.forward(rng.normal(2.0, 3.0, size=(4, 5, 7)))
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-7)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_input_gradient(self, rng):
+        layer = LayerNorm(5)
+        check_input_gradient(layer, rng.normal(size=(3, 4, 5)), tol=1e-4)
+
+    def test_input_gradient_2d(self, rng):
+        layer = LayerNorm(6)
+        check_input_gradient(layer, rng.normal(size=(4, 6)), tol=1e-4)
+
+    def test_param_gradients(self, rng):
+        layer = LayerNorm(5)
+        x = rng.normal(size=(3, 4, 5))
+        check_param_gradient(layer, x, layer.gamma, tol=1e-4)
+        check_param_gradient(layer, x, layer.beta, tol=1e-4)
+
+
+class TestEmbedding:
+    def test_forward_gathers_rows(self, rng):
+        layer = Embedding(7, 4, rng=rng)
+        ids = np.array([[0, 2], [2, 6]])
+        out = layer.forward(ids)
+        assert out.shape == (2, 2, 4)
+        assert np.array_equal(out[1, 0], layer.weight.data[2])
+
+    def test_backward_scatter_adds_duplicates(self, rng):
+        layer = Embedding(7, 4, rng=rng)
+        ids = np.array([[0, 2], [2, 6]])
+        out = layer.forward(ids)
+        assert layer.backward(np.ones_like(out)) is None
+        expected = np.zeros((7, 4))
+        np.add.at(expected, ids, 1.0)
+        assert np.array_equal(layer.weight.grad, expected)
+
+
+class TestPositionalEmbedding:
+    def test_adds_rows_and_passes_gradient(self, rng):
+        layer = PositionalEmbedding(6, 4, rng=rng)
+        x = rng.normal(size=(2, 5, 4))
+        out = layer.forward(x)
+        assert np.allclose(out - x, layer.weight.data[:5])
+        grad = rng.normal(size=out.shape)
+        assert np.array_equal(layer.backward(grad), grad)
+        assert np.allclose(layer.weight.grad[:5], grad.sum(axis=0))
+        assert np.array_equal(layer.weight.grad[5], np.zeros(4))
+
+    def test_param_gradient(self, rng):
+        layer = PositionalEmbedding(5, 3, rng=rng)
+        check_param_gradient(layer, rng.normal(size=(2, 5, 3)), layer.weight)
+
+    def test_too_long_sequence_rejected(self, rng):
+        layer = PositionalEmbedding(4, 3, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(1, 5, 3)))
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self, rng):
+        layer = MultiHeadAttention(8, 2, rng=rng)
+        out = layer.forward(rng.normal(size=(3, 5, 8)))
+        assert out.shape == (3, 5, 8)
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(10, 4)
+
+    def test_input_gradient(self, rng):
+        layer = MultiHeadAttention(8, 2, rng=rng)
+        check_input_gradient(layer, rng.normal(size=(2, 3, 8)), tol=1e-4)
+
+    def test_projection_gradients(self, rng):
+        layer = MultiHeadAttention(8, 2, rng=rng)
+        x = rng.normal(size=(2, 3, 8))
+        for param in (layer.q_proj.weight, layer.k_proj.weight,
+                      layer.v_proj.weight, layer.out_proj.weight,
+                      layer.out_proj.bias):
+            check_param_gradient(layer, x, param, tol=1e-4)
+
+    def test_attention_rows_sum_to_one(self, rng):
+        layer = MultiHeadAttention(8, 4, rng=rng)
+        layer.forward(rng.normal(size=(2, 5, 8)))
+        _, _, _, attn, _ = layer._cache
+        assert attn.shape == (8, 5, 5)
+        assert np.allclose(attn.sum(axis=-1), 1.0)
+
+
+class TestQuantizedAttention:
+    """The attention GEMMs actually run on the emulated datapath."""
+
+    def test_gemm_call_count(self, rng):
+        from repro.emu import GemmConfig, QuantizedGemm
+
+        gemm = QuantizedGemm(GemmConfig.sr(9, seed=2))
+        layer = MultiHeadAttention(8, 2, gemm=gemm, rng=rng)
+        out = layer.forward(rng.normal(size=(2, 4, 8)))
+        # 4 projection forwards + QK^T + AV
+        assert gemm.call_count == 6
+        layer.backward(np.ones_like(out))
+        # + dAttn, dV, dQ, dK + 4 projections x (dW, dX)
+        assert gemm.call_count == 6 + 4 + 8
+
+    def test_scores_on_accumulator_grid(self, rng):
+        """QK^T runs in the quantized accumulator: un-scaled scores sit
+        exactly on the E6M5 grid."""
+        from repro.emu import GemmConfig, QuantizedGemm
+        from repro.fp.formats import FP12_E6M5
+        from repro.fp.quantize import quantize
+
+        layer = MultiHeadAttention(8, 2, rng=rng,
+                                   gemm=QuantizedGemm(GemmConfig.sr(9,
+                                                                    seed=2)))
+        layer.forward(rng.normal(size=(2, 4, 8)))
+        q, k, _, _, _ = layer._cache
+        scores = layer.gemm(q, k.transpose(0, 2, 1))
+        assert np.array_equal(scores,
+                              quantize(scores, FP12_E6M5, "toward_zero"))
+
+    def test_parallel_gemm_matches_serial_fallback(self, rng):
+        """workers=2 pool vs workers=1 serial fallback: bit-identical
+        attention output (the tiled-parallel draw-order contract)."""
+        from repro.emu import GemmConfig, ParallelQuantizedGemm
+
+        x = rng.normal(size=(2, 4, 8))
+        outs = []
+        for workers in (1, 2):
+            gemm = ParallelQuantizedGemm(GemmConfig.sr(9, seed=5),
+                                         workers=workers)
+            layer = MultiHeadAttention(8, 2, gemm=gemm,
+                                       rng=np.random.default_rng(0))
+            outs.append(layer.forward(x))
+        assert np.array_equal(outs[0], outs[1])

@@ -37,6 +37,14 @@ def test_train_resnet_minimal():
     assert "SR E6M5" in out
 
 
+def test_train_transformer_minimal():
+    out = _run("train_transformer.py", "--epochs", "1", "--n-train", "128",
+               "--seq-len", "8")
+    assert "final accuracy" in out
+    assert "SR E6M5" in out
+    assert "FP32 baseline" in out
+
+
 def test_sweep_random_bits_minimal():
     out = _run("sweep_random_bits.py", "--epochs", "1", "--n-train", "128",
                timeout=360)
