@@ -29,6 +29,10 @@ Subpackages
 ``repro.experiments``
     One runner per paper table/figure, with published values for
     comparison.
+``repro.serve``
+    Inference serving: frozen forward-only sessions with per-request SR
+    keying, micro-batching, a content-keyed response cache, and a
+    stdlib HTTP JSON API (``python -m repro.serve``).
 """
 
 __version__ = "1.0.0"

@@ -14,7 +14,51 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..fp.formats import FP8_E5M2, FP12_E6M5, FP16, FP32, FPFormat
-from ..prng.streams import RandomBitStream, SoftwareStream
+from ..prng.streams import LFSRStream, RandomBitStream, SoftwareStream
+
+
+def _format_spec(fmt: Optional[FPFormat]) -> Optional[dict]:
+    if fmt is None:
+        return None
+    return {"exponent_bits": fmt.exponent_bits,
+            "mantissa_bits": fmt.mantissa_bits,
+            "subnormals": fmt.subnormals,
+            "name": fmt.name}
+
+
+def _format_from_spec(spec: Optional[dict]) -> Optional[FPFormat]:
+    if spec is None:
+        return None
+    return FPFormat(int(spec["exponent_bits"]), int(spec["mantissa_bits"]),
+                    subnormals=bool(spec["subnormals"]),
+                    name=str(spec.get("name", "")))
+
+
+def _stream_spec(stream) -> dict:
+    if isinstance(stream, SoftwareStream):
+        if stream.spawn_path:
+            raise ValueError(
+                "only root streams are serializable; got a substream "
+                f"with spawn path {stream.spawn_path}")
+        return {"kind": "software", "seed": int(stream.seed)}
+    if isinstance(stream, LFSRStream):
+        if stream.spawn_path or stream.offset:
+            raise ValueError(
+                "only root streams are serializable; got an LFSR "
+                "substream")
+        return {"kind": "lfsr", "seed": int(stream.seed),
+                "lanes": int(stream.lanes)}
+    raise TypeError(f"cannot serialize stream of type {type(stream)!r}")
+
+
+def _stream_from_spec(spec: dict):
+    kind = spec.get("kind", "software")
+    if kind == "software":
+        return SoftwareStream(int(spec.get("seed", 0)))
+    if kind == "lfsr":
+        return LFSRStream(lanes=int(spec.get("lanes", 4096)),
+                          seed=int(spec.get("seed", 1)))
+    raise ValueError(f"unknown stream kind {kind!r}")
 
 
 @dataclass
@@ -87,6 +131,49 @@ class GemmConfig:
         if self.rounding == "stochastic":
             return f"SR {acc} r={self.rbits}{sub}{order}"
         return f"RN {acc}{sub}{order}"
+
+    # ------------------------------------------------------------------
+    # Serialization (checkpoint sidecars, `repro.serve`)
+    # ------------------------------------------------------------------
+    def to_spec(self) -> dict:
+        """JSON-serializable description of this config.
+
+        Round-trips through :meth:`from_spec`; used by
+        :mod:`repro.nn.checkpoint` sidecars so a served model reproduces
+        the exact datapath it was trained on.  Only root streams (no
+        spawn path) are serializable.
+
+        Example::
+
+            spec = GemmConfig.sr(9, seed=3).to_spec()
+            config = GemmConfig.from_spec(spec)
+            assert config.label == "SR E6M5 r=9"
+        """
+        return {
+            "mul_format": _format_spec(self.mul_format),
+            "acc_format": _format_spec(self.acc_format),
+            "rounding": self.rounding,
+            "rbits": self.rbits,
+            "per_step": self.per_step,
+            "saturate": self.saturate,
+            "accum_order": self.accum_order,
+            "stream": _stream_spec(self.stream),
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "GemmConfig":
+        """Rebuild a config from :meth:`to_spec` output."""
+        return cls(
+            mul_format=_format_from_spec(spec.get("mul_format")),
+            acc_format=_format_from_spec(spec.get("acc_format")),
+            rounding=str(spec.get("rounding", "nearest")),
+            rbits=None if spec.get("rbits") is None else int(spec["rbits"]),
+            per_step=bool(spec.get("per_step", True)),
+            saturate=bool(spec.get("saturate", False)),
+            accum_order=str(spec.get("accum_order", "sequential")),
+            stream=_stream_from_spec(spec.get("stream",
+                                              {"kind": "software"})),
+        )
 
     # ------------------------------------------------------------------
     # Paper configurations (Tables III / IV rows)

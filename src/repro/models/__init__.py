@@ -1,12 +1,24 @@
 """Model zoo: ResNet / VGG / MLP / CNN / transformer with pluggable GEMMs."""
 
 from .mlp import MLP
+from .registry import (
+    MODEL_BUILDERS,
+    build_model_from_spec,
+    mlp_spec,
+    simple_cnn_spec,
+    tiny_transformer_spec,
+)
 from .resnet import BasicBlock, Bottleneck, ResNet, resnet8, resnet20, resnet50_style
 from .simple_cnn import SimpleCNN
 from .transformer import TinyTransformer, TransformerBlock
 from .vgg import VGG, VGG16_CFG, vgg16, vgg_small
 
 __all__ = [
+    "MODEL_BUILDERS",
+    "build_model_from_spec",
+    "mlp_spec",
+    "simple_cnn_spec",
+    "tiny_transformer_spec",
     "MLP",
     "TinyTransformer",
     "TransformerBlock",

@@ -1,0 +1,103 @@
+"""Model specs: JSON-serializable descriptions that rebuild models.
+
+Checkpoints (:mod:`repro.nn.checkpoint`) store a *model spec* next to
+the weights so a later process — in particular the serving subsystem
+(:mod:`repro.serve`) — can reconstruct the exact architecture without
+any Python state from the training run.  A spec is a plain dict::
+
+    {"kind": "simple_cnn",
+     "kwargs": {"num_classes": 10, "in_channels": 3, "width": 8,
+                "seed": 0},
+     "input": {"kind": "image", "shape": [3, 8, 8]}}
+
+``kind`` selects a registered builder, ``kwargs`` are its constructor
+arguments, and ``input`` describes the request payload the model
+expects — ``{"kind": "image", "shape": [C, H, W]}`` for float tensors
+or ``{"kind": "tokens", "seq_len": T, "vocab_size": V}`` for int64
+token sequences.  The builders accept ``gemm=None`` (layers are built
+on :func:`repro.nn.module.default_gemm` and re-bound later, e.g. by
+:class:`repro.serve.session.InferenceSession`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..nn.module import GemmFn, Module
+from .mlp import MLP
+from .simple_cnn import SimpleCNN
+from .transformer import TinyTransformer
+
+#: kind -> builder(gemm=..., **kwargs).  Extend with your own kinds to
+#: make new architectures checkpointable/servable.
+MODEL_BUILDERS: Dict[str, Callable[..., Module]] = {
+    "mlp": MLP,
+    "simple_cnn": SimpleCNN,
+    "tiny_transformer": TinyTransformer,
+}
+
+
+def build_model_from_spec(spec: dict, *,
+                          gemm: Optional[GemmFn] = None) -> Module:
+    """Instantiate the model a spec describes.
+
+    Example::
+
+        spec = simple_cnn_spec(num_classes=10, in_channels=3, width=8,
+                               image_size=8)
+        model = build_model_from_spec(spec)
+    """
+    kind = spec.get("kind")
+    if kind not in MODEL_BUILDERS:
+        raise KeyError(
+            f"unknown model kind {kind!r}; registered: "
+            f"{sorted(MODEL_BUILDERS)}")
+    kwargs = dict(spec.get("kwargs", {}))
+    return MODEL_BUILDERS[kind](gemm=gemm, **kwargs)
+
+
+def mlp_spec(in_features: int, hidden: List[int], num_classes: int, *,
+             image_shape: Optional[List[int]] = None, batch_norm: bool = True,
+             seed: int = 0) -> dict:
+    """Spec for :class:`repro.models.MLP` (``image_shape`` documents the
+    pre-flatten input layout served over HTTP; defaults to flat
+    ``[in_features]``)."""
+    return {
+        "kind": "mlp",
+        "kwargs": {"in_features": in_features, "hidden": list(hidden),
+                   "num_classes": num_classes, "batch_norm": batch_norm,
+                   "seed": seed},
+        "input": {"kind": "image",
+                  "shape": list(image_shape) if image_shape
+                  else [in_features]},
+    }
+
+
+def simple_cnn_spec(num_classes: int, in_channels: int, width: int,
+                    image_size: int, *, seed: int = 0) -> dict:
+    """Spec for :class:`repro.models.SimpleCNN` on square images."""
+    return {
+        "kind": "simple_cnn",
+        "kwargs": {"num_classes": num_classes, "in_channels": in_channels,
+                   "width": width, "seed": seed},
+        "input": {"kind": "image",
+                  "shape": [in_channels, image_size, image_size]},
+    }
+
+
+def tiny_transformer_spec(vocab_size: int, num_classes: int, *,
+                          d_model: int = 32, n_heads: int = 4,
+                          depth: int = 2, mlp_ratio: int = 2,
+                          max_len: int = 64, seq_len: Optional[int] = None,
+                          seed: int = 0) -> dict:
+    """Spec for :class:`repro.models.TinyTransformer` (``seq_len`` pins
+    the served sequence length; defaults to ``max_len``)."""
+    return {
+        "kind": "tiny_transformer",
+        "kwargs": {"vocab_size": vocab_size, "num_classes": num_classes,
+                   "d_model": d_model, "n_heads": n_heads, "depth": depth,
+                   "mlp_ratio": mlp_ratio, "max_len": max_len, "seed": seed},
+        "input": {"kind": "tokens",
+                  "seq_len": int(seq_len if seq_len is not None else max_len),
+                  "vocab_size": vocab_size},
+    }

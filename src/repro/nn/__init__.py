@@ -30,10 +30,16 @@ from .layers import (
     PositionalEmbedding,
     ReLU,
 )
+from .checkpoint import (
+    Checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+    state_fingerprint,
+)
 from .loss import CrossEntropyLoss, MSELoss
 from .loss_scaler import DynamicLossScaler
 from .lr_scheduler import CosineAnnealingLR, MultiStepLR
-from .module import Module, Parameter, Sequential, default_gemm
+from .module import Module, Parameter, Sequential, StateDict, default_gemm
 from .optim import SGD
 from .trainer import EpochStats, Trainer, TrainingResult
 
@@ -41,7 +47,12 @@ __all__ = [
     "Module",
     "Parameter",
     "Sequential",
+    "StateDict",
     "default_gemm",
+    "Checkpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "state_fingerprint",
     "Linear",
     "Conv2d",
     "ReLU",

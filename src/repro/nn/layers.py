@@ -228,6 +228,8 @@ class BatchNorm2d(Module):
         bn.eval()                         # switch to running statistics
     """
 
+    buffer_names = ("running_mean", "running_var")
+
     def __init__(self, channels: int, momentum: float = 0.1,
                  eps: float = 1e-5):
         super().__init__()
@@ -273,6 +275,8 @@ class BatchNorm1d(Module):
         bn = BatchNorm1d(48)
         y = bn(x)                         # x: (N, 48)
     """
+
+    buffer_names = ("running_mean", "running_var")
 
     def __init__(self, features: int, momentum: float = 0.1, eps: float = 1e-5):
         super().__init__()

@@ -14,6 +14,31 @@ from typing import Callable, Iterator, List, Optional, Tuple
 import numpy as np
 
 
+class StateDict(dict):
+    """Named parameter state with positional fallback.
+
+    Keys are module-path-qualified parameter names (``"head.weight"``);
+    integer indices keep working for callers written against the old
+    positional form — index ``i`` resolves to the ``i``-th entry in
+    parameter-discovery order (the order :meth:`Module.parameters`
+    returns).
+
+    Example::
+
+        state = model.state_dict()
+        state["head.weight"]              # named access
+        state[0]                          # positional access, same order
+    """
+
+    def __getitem__(self, key):
+        if isinstance(key, int) and not super().__contains__(key):
+            values = list(self.values())
+            if not -len(values) <= key < len(values):
+                raise KeyError(key)
+            return values[key]
+        return super().__getitem__(key)
+
+
 class Parameter:
     """A trainable tensor with its gradient accumulator.
 
@@ -59,6 +84,11 @@ class Module:
                 return self.alpha.data * grad_out
     """
 
+    #: Attribute names of non-trainable state arrays (e.g. batch-norm
+    #: running statistics) that checkpoints must carry.  Subclasses
+    #: override; :meth:`named_buffers` walks them with qualified names.
+    buffer_names: Tuple[str, ...] = ()
+
     def __init__(self):
         self.training = True
 
@@ -74,21 +104,61 @@ class Module:
         return self.forward(x)
 
     def parameters(self) -> List[Parameter]:
-        found: List[Parameter] = []
-        self._collect(found, set())
+        return [param for _, param in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") \
+            -> List[Tuple[str, Parameter]]:
+        """``(qualified name, parameter)`` pairs in discovery order.
+
+        Names are module paths built from attribute names (list/tuple
+        entries contribute their index), e.g.
+        ``"features.layers.0.weight"``.  The order is identical to
+        :meth:`parameters`, so positional indices stay meaningful; a
+        parameter reachable through several paths appears once, under
+        the first path found.
+
+        Example::
+
+            names = [n for n, _ in model.named_parameters()]
+        """
+        found: List[Tuple[str, Parameter]] = []
+        self._collect(found, set(), prefix)
         return found
 
-    def _collect(self, out: List[Parameter], seen: set) -> None:
-        for value in self.__dict__.values():
+    def _collect(self, out: List[Tuple[str, Parameter]], seen: set,
+                 prefix: str = "") -> None:
+        for attr, value in self.__dict__.items():
             if isinstance(value, Parameter) and id(value) not in seen:
                 seen.add(id(value))
-                out.append(value)
+                out.append((f"{prefix}{attr}", value))
             elif isinstance(value, Module):
-                value._collect(out, seen)
+                value._collect(out, seen, f"{prefix}{attr}.")
             elif isinstance(value, (list, tuple)):
-                for item in value:
+                for i, item in enumerate(value):
                     if isinstance(item, Module):
-                        item._collect(out, seen)
+                        item._collect(out, seen, f"{prefix}{attr}.{i}.")
+
+    def named_buffers(self, prefix: str = "") \
+            -> List[Tuple[str, np.ndarray]]:
+        """``(qualified name, array)`` pairs of non-trainable state.
+
+        Mirrors :meth:`named_parameters`: the walk order and the name
+        scheme are identical, over the attributes each module lists in
+        :attr:`buffer_names` (batch-norm running statistics being the
+        canonical case).
+        """
+        found: List[Tuple[str, np.ndarray]] = []
+        for name in self.buffer_names:
+            found.append((f"{prefix}{name}", getattr(self, name)))
+        for attr, value in self.__dict__.items():
+            if isinstance(value, Module):
+                found.extend(value.named_buffers(f"{prefix}{attr}."))
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        found.extend(
+                            item.named_buffers(f"{prefix}{attr}.{i}."))
+        return found
 
     def modules(self) -> Iterator["Module"]:
         yield self
@@ -115,12 +185,44 @@ class Module:
     def parameter_count(self) -> int:
         return sum(int(np.prod(p.shape)) for p in self.parameters())
 
-    def state_dict(self) -> dict:
-        return {i: p.data.copy() for i, p in enumerate(self.parameters())}
+    def state_dict(self) -> "StateDict":
+        """Snapshot of every parameter and buffer, keyed by qualified name.
+
+        Parameters come first (in :meth:`parameters` order), then
+        buffers, so integer indices into the returned :class:`StateDict`
+        still resolve the legacy positional parameter layout:
+        ``state[0]`` and ``state["weight"]`` read the same array on a
+        bare layer.
+        """
+        state = StateDict((name, p.data.copy())
+                          for name, p in self.named_parameters())
+        for name, value in self.named_buffers():
+            state[name] = np.asarray(value).copy()
+        return state
 
     def load_state_dict(self, state: dict) -> None:
-        for i, p in enumerate(self.parameters()):
-            p.data[...] = state[i]
+        """Load a named or positional state dict (see :meth:`state_dict`).
+
+        Parameters accept qualified-name keys, integer positions, or
+        stringified integer positions (how ``.npz`` archives round-trip
+        positional dicts).  Buffers load by name when present; a legacy
+        positional dict without them leaves buffers untouched.
+        """
+        for i, (name, p) in enumerate(self.named_parameters()):
+            if name in state:
+                value = state[name]
+            elif i in state:
+                value = state[i]
+            elif str(i) in state:
+                value = state[str(i)]
+            else:
+                raise KeyError(
+                    f"state dict has no entry for parameter {name!r} "
+                    f"(position {i})")
+            p.data[...] = value
+        for name, buffer in self.named_buffers():
+            if name in state:
+                buffer[...] = state[name]
 
 
 class Sequential(Module):

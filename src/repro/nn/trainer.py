@@ -98,7 +98,13 @@ class Trainer:
         return loss
 
     def evaluate(self, loader) -> float:
-        """Top-1 accuracy over a data loader."""
+        """Top-1 accuracy over a data loader.
+
+        Restores the model's *prior* mode afterwards: evaluating a
+        frozen/eval model (e.g. one held by an inference session) must
+        not force it back into training mode.
+        """
+        was_training = self.model.training
         self.model.eval()
         correct = 0
         total = 0
@@ -106,7 +112,7 @@ class Trainer:
             logits = self.model(images)
             correct += int(np.sum(np.argmax(logits, axis=1) == labels))
             total += labels.shape[0]
-        self.model.train()
+        self.model.train(was_training)
         return correct / max(1, total)
 
     def fit(self, train_loader_fn, test_loader_fn) -> TrainingResult:

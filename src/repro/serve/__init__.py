@@ -1,0 +1,37 @@
+"""`repro.serve` — batched SR-inference serving.
+
+Takes a trained :class:`repro.nn.Module` and serves it over HTTP:
+
+* :class:`repro.serve.session.InferenceSession` freezes the model into
+  a forward-only plan — weights are quantized to the multiplier format
+  **once** at load time, and SR randomness is keyed per request via
+  ``RandomBitStream.spawn(request_key)``, so a request's logits are
+  bit-identical regardless of which micro-batch it lands in and of the
+  worker count (the batch-composition-invariance extension of the
+  DESIGN.md frozen draw-order contract).
+* :class:`repro.serve.batcher.MicroBatcher` coalesces concurrent
+  single-sample requests into batched GEMMs on the tiled-parallel
+  datapath (``max_batch_size``, ``max_delay_ms``).
+* :class:`repro.serve.cache.ResponseCache` is a content-keyed LRU over
+  (input bytes, checkpoint fingerprint, datapath config).
+* :mod:`repro.serve.server` is a stdlib ``ThreadingHTTPServer`` JSON
+  API (``/predict``, ``/healthz``, ``/stats``), launched via
+  ``python -m repro.serve --checkpoint ckpt.npz --workers N``.
+
+Quickstart: ``docs/serving.md``.
+"""
+
+from .batcher import BatcherStats, MicroBatcher
+from .cache import CacheStats, ResponseCache
+from .server import ServerApp, make_server
+from .session import InferenceSession
+
+__all__ = [
+    "InferenceSession",
+    "MicroBatcher",
+    "BatcherStats",
+    "ResponseCache",
+    "CacheStats",
+    "ServerApp",
+    "make_server",
+]

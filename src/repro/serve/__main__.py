@@ -1,0 +1,66 @@
+"""CLI: serve a checkpoint over HTTP.
+
+Example::
+
+    python -m repro.serve --checkpoint ckpt.npz --workers 2 --port 8000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .server import ServerApp, make_server
+from .session import InferenceSession
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve a trained checkpoint on the emulated SR "
+                    "datapath (micro-batching + response cache).")
+    parser.add_argument("--checkpoint", required=True,
+                        help=".npz checkpoint written by "
+                             "repro.nn.checkpoint.save_checkpoint "
+                             "(JSON sidecar required)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8000,
+                        help="0 picks an ephemeral port (printed on start)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="tiled-parallel GEMM workers (results are "
+                             "bit-identical for any value)")
+    parser.add_argument("--backend", choices=("thread", "process"),
+                        default="thread",
+                        help="tiled-parallel scheduler backend")
+    parser.add_argument("--max-batch-size", type=int, default=8)
+    parser.add_argument("--max-delay-ms", type=float, default=2.0)
+    parser.add_argument("--cache-size", type=int, default=1024,
+                        help="LRU response-cache entries (0 disables)")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    session = InferenceSession.from_checkpoint(
+        args.checkpoint, workers=args.workers, backend=args.backend)
+    app = ServerApp(session, max_batch_size=args.max_batch_size,
+                    max_delay_ms=args.max_delay_ms,
+                    cache_entries=args.cache_size)
+    server = make_server(app, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"repro.serve: checkpoint {args.checkpoint} "
+          f"[{session.fingerprint}] config '{session.config.label}' "
+          f"workers={args.workers}", flush=True)
+    print(f"serving on http://{host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        app.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Content-keyed LRU response cache.
+
+Because the serving datapath keys its SR randomness by a content hash
+of (input bytes, checkpoint fingerprint, datapath config), a request's
+logits are a pure function of that same hash — so responses can be
+cached under it with **zero** risk of serving a stale or
+batch-dependent answer.  The cache key is exactly the first element of
+:meth:`repro.serve.session.InferenceSession.content_key`.
+
+Example::
+
+    cache = ResponseCache(max_entries=1024)
+    key, _ = session.content_key(x)
+    logits = cache.get(key)
+    if logits is None:
+        logits = batcher.submit(x)
+        cache.put(key, logits)
+    cache.stats().hit_rate
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters exposed under ``/stats``."""
+
+    hits: int = 0
+    misses: int = 0
+    entries: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResponseCache:
+    """Thread-safe LRU over content keys.
+
+    ``max_entries=0`` disables caching (every ``get`` misses, ``put``
+    is a no-op) — handy for benchmarking the uncached datapath with the
+    same serving code.
+    """
+
+    def __init__(self, max_entries: int = 1024):
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: str) -> Optional[np.ndarray]:
+        """The cached response for ``key``, or ``None`` (counts a miss)."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value.copy()
+
+    def put(self, key: str, value: np.ndarray) -> None:
+        """Insert (or refresh) ``key``; evicts the LRU entry when full."""
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = np.asarray(value).copy()
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(hits=self._hits, misses=self._misses,
+                              entries=len(self._entries),
+                              evictions=self._evictions)

@@ -1,0 +1,200 @@
+"""Stdlib JSON API over a frozen inference session.
+
+Endpoints (all JSON):
+
+* ``POST /predict`` — body ``{"input": <nested list>}``; responds
+  ``{"logits": [...], "cached": bool, "key": "<content key>",
+  "latency_ms": float}``.  The content key doubles as the SR spawn key,
+  so repeated inputs hit the response cache *and* would have produced
+  bit-identical logits anyway.
+* ``GET /healthz`` — liveness + checkpoint fingerprint.
+* ``GET /stats`` — request counters, cache hit rate, micro-batch fill,
+  and p50/p95/p99 latency over a sliding window.
+
+Launch from a checkpoint::
+
+    python -m repro.serve --checkpoint ckpt.npz --workers 2 --port 8000
+    curl -s localhost:8000/healthz
+    curl -s -X POST localhost:8000/predict -d '{"input": [...]}'
+
+The server is a ``ThreadingHTTPServer``: handler threads block in
+:meth:`repro.serve.batcher.MicroBatcher.submit` while the single
+dispatch thread runs the coalesced forward passes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import List, Tuple
+
+import numpy as np
+
+from .batcher import MicroBatcher
+from .cache import ResponseCache
+from .session import InferenceSession
+
+#: Sliding latency window for the percentile report.
+LATENCY_WINDOW = 4096
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty sorted list."""
+    rank = max(0, min(len(values) - 1, int(round(q * (len(values) - 1)))))
+    return values[rank]
+
+
+class ServerApp:
+    """Session + batcher + cache + counters behind the HTTP handler.
+
+    Usable without HTTP too (the benchmark drives it directly)::
+
+        app = ServerApp(session, max_batch_size=8, cache_entries=256)
+        result = app.predict(x)
+        app.stats()["latency_ms"]["p99"]
+    """
+
+    def __init__(self, session: InferenceSession, *,
+                 max_batch_size: int = 8, max_delay_ms: float = 2.0,
+                 cache_entries: int = 1024):
+        self.session = session
+        self.batcher = MicroBatcher(session, max_batch_size=max_batch_size,
+                                    max_delay_ms=max_delay_ms).start()
+        self.cache = ResponseCache(cache_entries)
+        self._latencies: deque = deque(maxlen=LATENCY_WINDOW)
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._errors = 0
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------------
+    def predict(self, x) -> Tuple[np.ndarray, bool, str]:
+        """Serve one input; returns (logits, cache hit?, content key)."""
+        arr = self.session.validate_input(x)
+        cache_key, spawn_key = self.session.content_key(arr)
+        cached = self.cache.get(cache_key)
+        if cached is not None:
+            return cached, True, cache_key
+        logits = self.batcher.submit(arr, spawn_key)
+        self.cache.put(cache_key, logits)
+        return logits, False, cache_key
+
+    def predict_json(self, payload: dict) -> dict:
+        if not isinstance(payload, dict) or "input" not in payload:
+            raise ValueError('request body must be {"input": ...}')
+        start = time.monotonic()
+        logits, cached, key = self.predict(payload["input"])
+        latency_ms = 1000.0 * (time.monotonic() - start)
+        with self._lock:
+            self._requests += 1
+            self._latencies.append(latency_ms)
+        return {"logits": np.asarray(logits).tolist(), "cached": cached,
+                "key": key, "latency_ms": round(latency_ms, 3)}
+
+    def record_error(self) -> None:
+        with self._lock:
+            self._errors += 1
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return {"status": "ok",
+                "fingerprint": self.session.fingerprint,
+                "config": self.session.config.label,
+                "workers": self.session.workers}
+
+    def stats(self) -> dict:
+        cache = self.cache.stats()
+        batcher = self.batcher.stats()
+        with self._lock:
+            latencies = sorted(self._latencies)
+            requests, errors = self._requests, self._errors
+        latency = {"count": len(latencies)}
+        if latencies:
+            latency.update(
+                p50=round(_percentile(latencies, 0.50), 3),
+                p95=round(_percentile(latencies, 0.95), 3),
+                p99=round(_percentile(latencies, 0.99), 3),
+                mean=round(sum(latencies) / len(latencies), 3),
+            )
+        return {
+            "requests": requests,
+            "errors": errors,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "cache": {"hits": cache.hits, "misses": cache.misses,
+                      "entries": cache.entries,
+                      "evictions": cache.evictions,
+                      "hit_rate": round(cache.hit_rate, 4)},
+            "batcher": {"batches": batcher.batches,
+                        "samples": batcher.samples,
+                        "max_batch": batcher.max_batch,
+                        "mean_batch_size":
+                            round(batcher.mean_batch_size, 3)},
+            "latency_ms": latency,
+            "gemm_calls": self.session.gemm_calls,
+        }
+
+    def close(self) -> None:
+        self.batcher.close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the three endpoints onto the :class:`ServerApp`."""
+
+    server_version = "repro.serve/1.0"
+
+    @property
+    def app(self) -> ServerApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # pragma: no cover - quiet
+        pass
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:
+        if self.path == "/healthz":
+            self._send_json(200, self.app.health())
+        elif self.path == "/stats":
+            self._send_json(200, self.app.stats())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:
+        if self.path != "/predict":
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            self._send_json(200, self.app.predict_json(payload))
+        except (ValueError, KeyError, TypeError) as error:
+            self.app.record_error()
+            self._send_json(400, {"error": str(error)})
+        except Exception as error:  # pragma: no cover - defensive
+            self.app.record_error()
+            self._send_json(500, {"error": f"{type(error).__name__}: "
+                                           f"{error}"})
+
+
+def make_server(app: ServerApp, host: str = "127.0.0.1",
+                port: int = 8000) -> ThreadingHTTPServer:
+    """Bind a threaded HTTP server to ``app`` (``port=0`` = ephemeral).
+
+    Example::
+
+        server = make_server(app, port=0)
+        print(server.server_address)       # actual (host, port)
+        server.serve_forever()
+    """
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.app = app  # type: ignore[attr-defined]
+    return server

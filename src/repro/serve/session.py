@@ -1,0 +1,323 @@
+"""Frozen forward-only inference plans with per-request SR keying.
+
+An :class:`InferenceSession` owns a model and prepares it for serving:
+
+1. **Eval freeze** — ``model.eval()`` once; batch norm reads running
+   statistics, dropout is identity.  Every non-GEMM op of the eval
+   forward pass (softmax, LayerNorm, batch-norm-with-running-stats,
+   activations, pooling) is then a per-sample function, which is what
+   makes batch-composition invariance achievable at all.
+2. **Weight freeze** — each GEMM-operand weight (``Linear.weight``,
+   ``Conv2d.weight``) is quantized to the multiplier format **once**,
+   in place.  The training datapath re-quantizes master FP64 weights on
+   every call (they change between steps); at serving time they never
+   change, so the per-call cast is pure waste.  The session remembers
+   the frozen arrays and the serving GEMM skips their cast (the
+   activations operand is still cast per call, as in training).
+3. **Per-request SR keying** — each request's random bits come from
+   ``config.stream.spawn(request_key)``, where the key is a content
+   hash of (input bytes, checkpoint fingerprint, datapath config).
+   Inside a forward pass the ``g``-th GEMM call of sample ``i`` uses
+   substream ``request_stream_i.spawn((g,))``; the micro-batch GEMM is
+   sliced per sample around that substream, then executed through the
+   tiled-parallel scheduler (:mod:`repro.emu.parallel`), whose
+   draw-order contract already guarantees worker-count invariance.
+
+The resulting invariant — pinned by ``tests/serve/test_session.py``
+and documented in DESIGN.md section 8 — is that a request's logits are
+a pure function of (checkpoint, datapath config, input bytes): the same
+request served alone, in any batch, under any ``workers``, is bitwise
+identical.  It also makes responses *cacheable* under the same content
+key (:mod:`repro.serve.cache`).
+
+Example::
+
+    session = InferenceSession.from_checkpoint("ckpt.npz", workers=2)
+    logits = session.predict(x)           # single sample, no batch dim
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..emu.config import GemmConfig
+from ..emu.gemm import _cast_one
+from ..emu.parallel import TileScheduler, parallel_matmul_batched
+from ..nn.checkpoint import Checkpoint, load_checkpoint, state_fingerprint
+from ..nn.layers import Conv2d, Linear
+from ..nn.module import Module
+
+
+def _root_base(array: np.ndarray) -> np.ndarray:
+    """The underlying buffer of a view chain (transposes, broadcasts)."""
+    while array.base is not None:
+        array = array.base
+    return array
+
+
+class _ServeGemm:
+    """Forward-only GEMM callable with per-sample substream slicing.
+
+    Bound to every layer of a frozen model.  For each GEMM call it
+    splits the operands' leading axis into ``n_samples`` equal
+    contiguous groups — rows for 2D operands (Linear activations,
+    im2col patch rows), stacked batch entries for 3D operands (batched
+    projections, per-head attention stacks; all layer GEMM shapes keep
+    sample groups contiguous along axis 0) — and emulates each sample's
+    slice under its own request-derived substream, keyed additionally
+    by the call's position ``g`` in the forward pass.  Compute runs on
+    the tiled-parallel scheduler, so results are also invariant to the
+    session's ``workers``/``tile_rows``/backend.
+
+    Operands whose root buffer is one of the session's frozen weights
+    skip the multiplier-format cast: they were quantized once at load
+    time.  Activation operands are cast batch-wide (the cast is
+    elementwise, hence batch-composition invariant) before slicing.
+    """
+
+    def __init__(self, config: GemmConfig, scheduler: TileScheduler,
+                 frozen_ids: frozenset):
+        self.config = config
+        self.scheduler = scheduler
+        self.frozen_ids = frozen_ids
+        self.call_count = 0
+        self.overflow_count = 0
+        self._streams: List = []
+        self._call_index = 0
+
+    def begin(self, streams: List) -> None:
+        """Arm the gemm for one forward pass over ``len(streams)``
+        samples; stream ``i`` is sample ``i``'s request substream."""
+        self._streams = list(streams)
+        self._call_index = 0
+
+    def _prepare(self, x: np.ndarray) -> np.ndarray:
+        if self.config.mul_format is None:
+            return np.asarray(x, np.float64)
+        if id(_root_base(x)) in self.frozen_ids:
+            return x                      # frozen weight: already cast
+        return _cast_one(np.asarray(x, np.float64), self.config)
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if not self._streams:
+            raise RuntimeError(
+                "_ServeGemm used outside InferenceSession.predict_batch")
+        g = self._call_index
+        self._call_index += 1
+        batched = a.ndim == 3
+        if batched != (b.ndim == 3):
+            raise ValueError(
+                f"mixed 2D/3D GEMM operands {a.shape} x {b.shape}")
+        n = len(self._streams)
+        groups, rem = divmod(a.shape[0], n)
+        if rem or groups == 0:
+            raise ValueError(
+                f"GEMM leading axis {a.shape[0]} does not split over "
+                f"{n} samples")
+        aq = self._prepare(a)
+        bq = self._prepare(b)
+        if batched:
+            out = np.empty((a.shape[0], a.shape[1], b.shape[2]))
+        else:
+            out = np.empty((a.shape[0], b.shape[1]))
+        for i, stream in enumerate(self._streams):
+            cfg = replace(self.config, stream=stream.spawn((g,)))
+            rows = slice(i * groups, (i + 1) * groups)
+            if batched:
+                out[rows] = parallel_matmul_batched(
+                    aq[rows], bq[rows], cfg,
+                    scheduler=self.scheduler, cast=False)
+            else:
+                out[rows] = parallel_matmul_batched(
+                    aq[rows][None], bq[None], cfg,
+                    scheduler=self.scheduler, cast=False)[0]
+        self.call_count += 1
+        if not np.all(np.isfinite(out)):
+            self.overflow_count += 1
+        return out
+
+
+class InferenceSession:
+    """A trained model frozen into a servable forward-only plan.
+
+    The session takes *ownership* of ``model``: it switches it to eval
+    mode, quantizes its GEMM weights in place, and rebinds every
+    layer's gemm callable.  Use :meth:`from_checkpoint` to build a
+    fresh model from disk (the normal serving path).
+
+    Parameters
+    ----------
+    model:
+        The trained module (any :mod:`repro.models` architecture).
+    config:
+        Datapath config (``None`` = exact FP64 baseline).
+    workers, tile_rows, backend:
+        Tiled-parallel scheduler knobs (``backend="thread"`` is the
+        serving default — per-request GEMMs are small, so zero-copy
+        threads beat process pools).
+    fingerprint:
+        Checkpoint identity for cache keys / ``/healthz``; computed
+        from the (pre-freeze) weights when omitted.
+    input_spec:
+        Request payload description from the checkpoint's model spec
+        (``{"kind": "image", "shape": [...]}`` or ``{"kind": "tokens",
+        "seq_len": T, "vocab_size": V}``); enables validation.
+
+    Example::
+
+        session = InferenceSession(model, GemmConfig.sr(9, seed=3))
+        alone = session.predict(x)
+        a, b = session.predict_batch([x, y])
+        assert np.array_equal(alone, a)   # batch-composition invariant
+    """
+
+    def __init__(self, model: Module, config: Optional[GemmConfig] = None, *,
+                 workers: int = 1, tile_rows: Optional[int] = None,
+                 backend: str = "thread",
+                 fingerprint: Optional[str] = None,
+                 input_spec: Optional[dict] = None):
+        self.config = config if config is not None else GemmConfig()
+        self.model = model
+        self.input_spec = input_spec
+        self.workers = max(1, int(workers))
+        if fingerprint is None:
+            fingerprint = state_fingerprint(model.state_dict(),
+                                            self._config_spec())
+        self.fingerprint = fingerprint
+        self._lock = threading.Lock()
+        scheduler = TileScheduler(workers=self.workers, tile_rows=tile_rows,
+                                  backend=backend)
+        frozen = self._freeze_weights()
+        self._gemm = _ServeGemm(self.config, scheduler, frozen)
+        for module in model.modules():
+            if hasattr(module, "gemm"):
+                module.gemm = self._gemm
+        model.eval()
+
+    # ------------------------------------------------------------------
+    def _config_spec(self) -> dict:
+        try:
+            return self.config.to_spec()
+        except (TypeError, ValueError):
+            # non-serializable stream: fall back to the label (enough to
+            # keep fingerprints distinct across formats/r)
+            return {"label": self.config.label}
+
+    def _freeze_weights(self) -> frozenset:
+        """Quantize every GEMM-operand weight once; return their ids."""
+        frozen = set()
+        if self.config.mul_format is None:
+            return frozenset()
+        for module in self.model.modules():
+            if isinstance(module, (Linear, Conv2d)):
+                weight = module.weight
+                weight.data[...] = _cast_one(weight.data, self.config)
+                frozen.add(id(weight.data))
+        return frozenset(frozen)
+
+    # ------------------------------------------------------------------
+    def content_key(self, x: np.ndarray) -> Tuple[str, Tuple[int, ...]]:
+        """(cache key, spawn key) of one request input.
+
+        Both derive from one blake2b digest over the checkpoint
+        fingerprint and the input's dtype/shape/bytes, so "same cache
+        entry" and "same SR draws" are literally the same equivalence
+        relation: cacheable responses are exactly the reproducible
+        ones.
+        """
+        x = np.ascontiguousarray(x)
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(self.fingerprint.encode())
+        digest.update(str(x.dtype).encode())
+        digest.update(str(x.shape).encode())
+        digest.update(x.tobytes())
+        raw = digest.digest()
+        spawn_key = tuple(int.from_bytes(raw[i:i + 4], "little")
+                          for i in range(0, 16, 4))
+        return digest.hexdigest(), spawn_key
+
+    def validate_input(self, x: np.ndarray) -> np.ndarray:
+        """Coerce one request payload to the model's input dtype/shape."""
+        spec = self.input_spec
+        if spec is None:
+            arr = np.asarray(x)
+            return arr if np.issubdtype(arr.dtype, np.integer) \
+                else np.asarray(arr, np.float64)
+        if spec.get("kind") == "tokens":
+            arr = np.asarray(x)
+            if not np.issubdtype(arr.dtype, np.integer) \
+                    and not np.all(np.mod(arr, 1) == 0):
+                raise ValueError("token input must be integral")
+            arr = arr.astype(np.int64)
+            expect = (int(spec["seq_len"]),)
+            if arr.shape != expect:
+                raise ValueError(
+                    f"expected token shape {expect}, got {arr.shape}")
+            vocab = int(spec["vocab_size"])
+            if arr.min(initial=0) < 0 or arr.max(initial=0) >= vocab:
+                raise ValueError(f"token ids must be in [0, {vocab})")
+            return arr
+        arr = np.asarray(x, np.float64)
+        expect = tuple(int(v) for v in spec.get("shape", ()))
+        if expect and arr.shape != expect:
+            raise ValueError(
+                f"expected input shape {expect}, got {arr.shape}")
+        return arr
+
+    # ------------------------------------------------------------------
+    def predict_batch(self, inputs: Sequence[np.ndarray],
+                      keys: Optional[Sequence[Tuple[int, ...]]] = None
+                      ) -> List[np.ndarray]:
+        """Serve one micro-batch; returns per-sample outputs.
+
+        ``keys`` are the per-request spawn keys (from
+        :meth:`content_key`); derived from the inputs when omitted.
+        Each output is bit-identical to serving its input in any other
+        micro-batch composition.
+        """
+        if len(inputs) == 0:
+            return []
+        arrays = [np.asarray(x) for x in inputs]
+        if keys is None:
+            keys = [self.content_key(x)[1] for x in arrays]
+        if len(keys) != len(arrays):
+            raise ValueError(f"{len(arrays)} inputs but {len(keys)} keys")
+        batch = np.stack(arrays)
+        if not np.issubdtype(batch.dtype, np.integer):
+            batch = np.asarray(batch, np.float64)
+        with self._lock:
+            self._gemm.begin([self.config.stream.spawn(key)
+                              for key in keys])
+            try:
+                out = self.model(batch)
+            finally:
+                self._gemm.begin([])   # disarm until the next batch
+        return [np.array(out[i]) for i in range(len(arrays))]
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Serve one sample (no batch dimension)."""
+        return self.predict_batch([x])[0]
+
+    # ------------------------------------------------------------------
+    @property
+    def gemm_calls(self) -> int:
+        return self._gemm.call_count
+
+    @classmethod
+    def from_checkpoint(cls, path, *, workers: int = 1,
+                        tile_rows: Optional[int] = None,
+                        backend: str = "thread") -> "InferenceSession":
+        """Build a session from a checkpoint written by
+        :func:`repro.nn.checkpoint.save_checkpoint` (the sidecar must
+        carry a model spec)."""
+        ckpt: Checkpoint = load_checkpoint(path)
+        model = ckpt.build_model()
+        return cls(model, ckpt.gemm_config(), workers=workers,
+                   tile_rows=tile_rows, backend=backend,
+                   fingerprint=ckpt.fingerprint,
+                   input_spec=(ckpt.model_spec or {}).get("input"))

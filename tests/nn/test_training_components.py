@@ -320,3 +320,22 @@ class TestTrainer:
         trainer.train_batch(x, np.array([0]))
         assert trainer.scaler.scale < scale_before  # backed off
         assert np.array_equal(model.parameters()[0].data, before)  # skipped
+
+    def test_evaluate_restores_prior_mode(self, rng):
+        """Regression: evaluate() used to force-enable training mode,
+        even when called on a frozen/eval model."""
+        from repro.nn.trainer import Trainer
+
+        model = Sequential(Linear(4, 2, rng=rng))
+        trainer = Trainer(model, lr=0.1, epochs=1)
+
+        def loader():
+            yield rng.normal(size=(8, 4)), np.zeros(8, dtype=np.int64)
+
+        model.eval()
+        trainer.evaluate(loader())
+        assert not model.training, "evaluate() flipped an eval model " \
+                                   "back into training mode"
+        model.train()
+        trainer.evaluate(loader())
+        assert model.training

@@ -63,3 +63,11 @@ def test_eager_vs_lazy():
     out = _run("eager_vs_lazy.py", timeout=480)
     assert "0 eager/lazy mismatches" in out
     assert "PASS" in out
+
+
+def test_serve_quickstart_minimal():
+    out = _run("serve_quickstart.py", "--epochs", "1", "--n-train", "96")
+    assert "alone == in batch of 3:   True" in out
+    assert "workers=1 == workers=2:   True" in out
+    assert "cached=True" in out
+    assert "PASS" in out
