@@ -46,14 +46,20 @@ def stagnation_threshold(fmt: FPFormat, term: float) -> float:
 def stagnation_curve(fmt: FPFormat, term: float, steps: int,
                      policy: RoundingPolicy,
                      sample_every: int = 64) -> List[float]:
-    """Running accumulator values while repeatedly adding ``term``."""
+    """Running accumulator values while repeatedly adding ``term``.
+
+    Samples every ``sample_every`` steps plus the final accumulator;
+    when the last step falls on a sampling point it is recorded once,
+    not duplicated.
+    """
     acc = 0.0
     samples = []
     for step in range(steps):
         acc = policy.round_scalar(acc + term)
         if step % sample_every == 0:
             samples.append(acc)
-    samples.append(acc)
+    if steps == 0 or (steps - 1) % sample_every != 0:
+        samples.append(acc)
     return samples
 
 

@@ -92,10 +92,13 @@ class GemmConfig:
     accum_order:
         Accumulation-engine name from :mod:`repro.emu.engine` —
         ``"sequential"`` (the paper's MAC chain, fused hot path),
-        ``"pairwise"`` (adder tree) or ``"chunked(c)"`` (blocked
-        accumulator with exact width-``c`` partial sums).  Ignored when
-        ``per_step`` is false (the reduction is then exact by
-        definition).
+        ``"pairwise"`` (adder tree), ``"chunked(c)"`` (blocked
+        accumulator with exact width-``c`` partial sums), or the
+        hardware-exact ``"rtl_rn"`` / ``"rtl_lazy"`` / ``"rtl_eager"``
+        family executing every accumulation through the bit-true
+        vectorized adder datapath (:mod:`repro.rtl.vectorized`).
+        Ignored when ``per_step`` is false (the reduction is then
+        exact by definition).
 
     Example::
 

@@ -20,6 +20,13 @@ scenario is a registry entry instead of a fork of the GEMM loop:
   accumulator draining into a low-precision register.  ``chunked(1)``
   coincides with ``sequential``; ``chunked(c >= K)`` coincides with the
   ``per_step=False`` swamping-free ablation.
+* ``rtl_rn`` / ``rtl_lazy`` / ``rtl_eager`` — the *hardware-exact*
+  family: every accumulation runs through the vectorized word-level
+  dual-path adder models (:mod:`repro.rtl.vectorized`), bit-identical
+  to the scalar RTL adders and to :class:`repro.rtl.mac.MACUnit`
+  chains.  Note these differ from ``sequential`` under SR: the SR
+  adders truncate the addend during alignment (no sticky), whereas the
+  emulation engines round the exact sum.
 
 Engines operate on *batched* operands — ``(B, M, K) @ (B, K, N)`` —
 with inputs already cast to the multiplier format, and are only
@@ -381,6 +388,61 @@ class ChunkedEngine(AccumulationEngine):
         return acc
 
 
+class _RTLEngine(AccumulationEngine):
+    """Base adapter running GEMMs through the bit-true RTL datapath.
+
+    Unlike the emulation engines above — which round the *exact*
+    float64 partial sum — these execute every accumulation through the
+    vectorized word-level adder models of :mod:`repro.rtl.vectorized`:
+    alignment truncation, staged eager correction and all.  The result
+    is bit-identical to chaining the scalar
+    :class:`repro.rtl.mac.MACUnit` over the reduction with one LFSR
+    lane per output element (DESIGN.md section 9).
+
+    The engine name picks the rounding architecture for *stochastic*
+    configs; RN configs always run the RN adder (there is no lazy/eager
+    distinction without SR), so a whole table sweep can run under one
+    ``--accum-order rtl_eager`` flag.
+
+    Example::
+
+        out = matmul(a, b, GemmConfig.sr(9, accum_order="rtl_eager"))
+    """
+
+    design = "rn"
+
+    def gemm(self, a: np.ndarray, b: np.ndarray, config) -> np.ndarray:
+        from ..rtl.vectorized import rtl_gemm_batched
+
+        return rtl_gemm_batched(a, b, config, self.design)
+
+    def reduce(self, terms: np.ndarray, config) -> np.ndarray:
+        from ..rtl.vectorized import rtl_reduce
+
+        return rtl_reduce(terms, config, self.design)
+
+
+class RTLRNEngine(_RTLEngine):
+    """Bit-true RN dual-path adder datapath (``accum_order="rtl_rn"``)."""
+
+    name = "rtl_rn"
+    design = "rn"
+
+
+class RTLLazyEngine(_RTLEngine):
+    """Bit-true lazy SR adder datapath (``accum_order="rtl_lazy"``)."""
+
+    name = "rtl_lazy"
+    design = "sr_lazy"
+
+
+class RTLEagerEngine(_RTLEngine):
+    """Bit-true eager SR adder datapath (``accum_order="rtl_eager"``)."""
+
+    name = "rtl_eager"
+    design = "sr_eager"
+
+
 #: Engine registry: accumulation-order name -> constructor.  Register a
 #: new engine here (no-argument constructor, or one taking a single int
 #: for ``name(<int>)`` specs) and it becomes reachable everywhere an
@@ -390,6 +452,9 @@ ENGINES = {
     "sequential": SequentialEngine,
     "pairwise": PairwiseEngine,
     "chunked": ChunkedEngine,
+    "rtl_rn": RTLRNEngine,
+    "rtl_lazy": RTLLazyEngine,
+    "rtl_eager": RTLEagerEngine,
 }
 
 _PARAM_SPEC = re.compile(r"^([a-z_][a-z0-9_]*)\((\d+)\)$")

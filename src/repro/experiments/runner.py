@@ -12,9 +12,12 @@ Usage::
     python -m repro.experiments.runner all --scale tiny
 
 ``--accum-order`` re-runs the training tables under a different GEMM
-accumulation engine (``sequential``, ``pairwise``, ``chunked`` or
-``chunked(<c>)`` — see :mod:`repro.emu.engine`), turning Tables III/IV
-into per-datapath ablations.
+accumulation engine (``sequential``, ``pairwise``, ``chunked``,
+``chunked(<c>)``, or the hardware-exact ``rtl_rn`` / ``rtl_lazy`` /
+``rtl_eager`` vectorized-RTL datapath — see :mod:`repro.emu.engine`),
+turning Tables III/IV into per-datapath ablations.  The ``rtl_*``
+family runs every accumulation through the bit-true adder models; on
+RN rows it degrades to the RN adder, so one flag covers a whole table.
 
 ``--workers N`` (N >= 2) shards every emulated GEMM of the training
 tables across ``N`` processes via the deterministic tiled-parallel
@@ -111,7 +114,9 @@ def main(argv=None) -> int:
                              "the transformer sweep")
     parser.add_argument("--accum-order", default="sequential",
                         help="GEMM accumulation engine for tables III/IV: "
-                             "sequential, pairwise, chunked or chunked(<c>)")
+                             "sequential, pairwise, chunked, chunked(<c>), "
+                             "or the bit-true RTL datapath rtl_rn / "
+                             "rtl_lazy / rtl_eager")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for the tiled-parallel GEMM "
                              "executor (tables III/IV); 1 = serial path")

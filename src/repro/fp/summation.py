@@ -16,9 +16,12 @@ directly:
   FP32-accumulator baseline of FP8 training flows).
 
 Each algorithm takes a :class:`RoundingPolicy` bundling the format,
-mode and randomness, applied after every elementary addition, so RN and
-r-bit SR can be compared like-for-like (used by the error-analysis
-experiments in :mod:`repro.analysis`).
+mode and randomness.  Inputs are quantized into the policy's format
+exactly once, up front, by every algorithm (the shared
+``_quantize_inputs`` cast); the policy is then applied after every
+elementary addition.  This keeps RN and r-bit SR — and the algorithms
+against each other — comparable like-for-like (used by the
+error-analysis experiments in :mod:`repro.analysis`).
 """
 
 from __future__ import annotations
@@ -64,12 +67,29 @@ class RoundingPolicy:
         return cls(fmt, "stochastic", rbits, np.random.default_rng(seed))
 
 
-def recursive_sum(values: np.ndarray, policy: RoundingPolicy) -> float:
-    """Sequential left-to-right summation (the MAC accumulation order)."""
+def _quantize_inputs(values: np.ndarray, policy: RoundingPolicy) -> np.ndarray:
+    """The shared input cast: one ``policy.round`` pass over the terms.
+
+    Every algorithm in :data:`ALGORITHMS` quantizes its inputs exactly
+    once, up front, so cross-algorithm comparisons (e.g.
+    :func:`repro.analysis.errors.variance_reduction_over_algorithms`)
+    are like-for-like: each algorithm reduces the *same* on-grid
+    operands and differs only in accumulation structure.
+    """
+    return policy.round(np.asarray(values, dtype=np.float64))
+
+
+def _recursive_core(values: np.ndarray, policy: RoundingPolicy) -> float:
+    """Left-to-right reduction of already-quantized terms."""
     acc = 0.0
     for value in np.asarray(values, dtype=np.float64):
         acc = policy.round_scalar(acc + value)
     return acc
+
+
+def recursive_sum(values: np.ndarray, policy: RoundingPolicy) -> float:
+    """Sequential left-to-right summation (the MAC accumulation order)."""
+    return _recursive_core(_quantize_inputs(values, policy), policy)
 
 
 def pairwise_sum(values: np.ndarray, policy: RoundingPolicy) -> float:
@@ -83,7 +103,7 @@ def pairwise_sum(values: np.ndarray, policy: RoundingPolicy) -> float:
     ``x + 0.0`` rounding at every level, consuming SR draws the adder
     tree does not have.
     """
-    level = policy.round(np.asarray(values, dtype=np.float64))
+    level = _quantize_inputs(values, policy)
     while level.size > 1:
         pairs = level.size // 2
         summed = policy.round(level[0:2 * pairs:2] + level[1:2 * pairs:2])
@@ -103,19 +123,21 @@ def blocked_sum(values: np.ndarray, policy: RoundingPolicy,
     """
     if block < 1:
         raise ValueError("block must be positive")
-    arr = np.asarray(values, dtype=np.float64)
+    arr = _quantize_inputs(values, policy)
     partials = [
-        recursive_sum(arr[start:start + block], policy)
+        _recursive_core(arr[start:start + block], policy)
         for start in range(0, arr.size, block)
     ]
-    return recursive_sum(np.array(partials), policy)
+    # Partials are already on-grid; the drain adder re-reduces them
+    # without a second (draw-consuming) input cast.
+    return _recursive_core(np.array(partials), policy)
 
 
 def kahan_sum(values: np.ndarray, policy: RoundingPolicy) -> float:
     """Kahan compensated summation in the target precision."""
     acc = 0.0
     compensation = 0.0
-    for value in np.asarray(values, dtype=np.float64):
+    for value in _quantize_inputs(values, policy):
         adjusted = policy.round_scalar(value - compensation)
         total = policy.round_scalar(acc + adjusted)
         compensation = policy.round_scalar(

@@ -280,6 +280,24 @@ class LFSRStream:
             self._banks[rbits] = bank
         return bank
 
+    def lane_states(self, rbits: int) -> np.ndarray:
+        """Current states of the width-``rbits`` lane bank (a copy).
+
+        Called before the first draw, these are the *initial* lane
+        phases — what a scalar :class:`repro.prng.lfsr.GaloisLFSR` must
+        be seeded with to reproduce one lane draw-for-draw.  The RTL
+        cross-validation harnesses use this to pin the vectorized GEMM
+        datapath against per-element ``MACUnit`` chains (DESIGN.md
+        section 9) without re-deriving the bank-seeding convention.
+
+        Example::
+
+            stream = LFSRStream(lanes=16, seed=3)
+            states = stream.lane_states(9)     # before any draw
+            lane0 = GaloisLFSR(9, seed=int(states[0]))
+        """
+        return self._bank(rbits).states.copy()
+
     def integers(self, rbits: int, shape) -> np.ndarray:
         return self._bank(rbits).draw(shape)
 

@@ -15,6 +15,13 @@ from .systolic import (
     array_comparison,
     build_systolic_netlist,
 )
+from .vectorized import (
+    RTL_ORDERS,
+    VectorAdder,
+    rtl_gemm_batched,
+    rtl_matmul,
+    rtl_reduce,
+)
 
 __all__ = [
     "AdderResult",
@@ -40,4 +47,9 @@ __all__ = [
     "SystolicConfig",
     "build_systolic_netlist",
     "array_comparison",
+    "RTL_ORDERS",
+    "VectorAdder",
+    "rtl_gemm_batched",
+    "rtl_matmul",
+    "rtl_reduce",
 ]

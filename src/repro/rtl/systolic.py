@@ -23,13 +23,14 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..emu.config import GemmConfig
-from ..emu.gemm import matmul
+from ..emu.gemm import cast_inputs
 from ..fp.formats import FPFormat
-from ..prng.streams import LFSRStream, SoftwareStream
+from ..prng.streams import LFSRStream, SoftwareStream, bulk_draws
 from .components import control, register
 from .designs import build_mac_netlist
 from .mac import MACConfig
 from .netlist import Netlist
+from .vectorized import RTL_ORDERS, rtl_matmul
 
 
 @dataclass(frozen=True)
@@ -53,13 +54,21 @@ class SystolicConfig:
 
 
 class SystolicArray:
-    """Behavioral tiled GEMM on the array.
+    """Behavioral tiled GEMM on the array, through the bit-true adders.
 
     Output-stationary dataflow: each processing element accumulates one
     output element of the current ``rows x cols`` tile over the full
-    reduction dimension, rounding each step exactly like its hardware MAC
-    (the per-PE randomness comes from a dedicated LFSR lane of width
-    ``r``, mirroring one PRNG per PE).
+    reduction dimension, computing every step through the vectorized
+    RTL datapath (:mod:`repro.rtl.vectorized`) of the configured MAC —
+    the array is bit-identical to a grid of scalar
+    :class:`repro.rtl.mac.MACUnit` instances.
+
+    One LFSR lane per PE: the stream carries ``pe_count`` lanes and the
+    whole bank ticks once per accumulation cycle.  Partial edge tiles
+    *slice* the lane grid — PE ``(i, j)`` always consumes lane
+    ``i * cols + j`` — instead of re-packing the flat draw order, so an
+    output element's randomness depends only on its PE position and the
+    cycle count, exactly like the hardware.
     """
 
     def __init__(self, config: SystolicConfig, seed: int = 1,
@@ -68,10 +77,15 @@ class SystolicArray:
         mac = config.mac
         acc_fmt = FPFormat(mac.exponent_bits, mac.mantissa_bits,
                            subnormals=mac.subnormals)
+        # MACConfig rounding names coincide with the adder design names
+        # (RTL_ORDERS values); only the engine-order name needs mapping.
+        self._design = mac.rounding
+        order = {design: name for name, design in RTL_ORDERS.items()}[
+            mac.rounding]
         if mac.rounding == "rn":
             self.gemm_config = GemmConfig(
                 mul_format=mac.multiplier_format, acc_format=acc_fmt,
-                rounding="nearest",
+                rounding="nearest", accum_order=order,
             )
         else:
             stream = (LFSRStream(lanes=config.pe_count, seed=seed)
@@ -79,6 +93,7 @@ class SystolicArray:
             self.gemm_config = GemmConfig(
                 mul_format=mac.multiplier_format, acc_format=acc_fmt,
                 rounding="stochastic", rbits=mac.rbits, stream=stream,
+                accum_order=order,
             )
         self.cycles = 0
         self.tiles = 0
@@ -87,8 +102,9 @@ class SystolicArray:
         """Tiled ``a @ b`` with cycle accounting.
 
         Tiles the ``(M, K) x (K, N)`` product into ``rows x cols`` output
-        blocks; each tile costs ``K + rows + cols`` cycles (fill + drain)
-        in the output-stationary schedule.
+        blocks; a tile of ``mt x nt`` outputs costs ``K + mt + nt``
+        cycles (fill + drain) in the output-stationary schedule — edge
+        tiles are charged their actual dimensions, not the full array.
         """
         a = np.asarray(a, np.float64)
         b = np.asarray(b, np.float64)
@@ -97,14 +113,31 @@ class SystolicArray:
         m, k = a.shape
         n = b.shape[1]
         rows, cols = self.config.rows, self.config.cols
+        aq, bq = cast_inputs(a, b, self.gemm_config)
+        stochastic = self.gemm_config.rounding == "stochastic"
+        rbits = self.gemm_config.rbits
+        stream = self.gemm_config.stream
         out = np.empty((m, n), dtype=np.float64)
         for i0 in range(0, m, rows):
             for j0 in range(0, n, cols):
-                tile_a = a[i0:i0 + rows]
-                tile_b = b[:, j0:j0 + cols]
-                out[i0:i0 + rows, j0:j0 + cols] = matmul(
-                    tile_a, tile_b, self.gemm_config)
-                self.cycles += k + rows + cols
+                tile_a = aq[i0:i0 + rows]
+                tile_b = bq[:, j0:j0 + cols]
+                mt = tile_a.shape[0]
+                nt = tile_b.shape[1]
+                draw_fn = None
+                if stochastic:
+                    def draw_fn(steps: int, _mt=mt, _nt=nt) -> np.ndarray:
+                        # All rows x cols PE PRNGs tick every cycle; a
+                        # partial tile reads its PEs' lanes and the
+                        # rest idle (per-tile lane slicing).
+                        grid = bulk_draws(stream, rbits, steps,
+                                          (rows, cols))
+                        return grid[:, None, :_mt, :_nt]
+                out[i0:i0 + mt, j0:j0 + nt] = rtl_matmul(
+                    tile_a, tile_b, self.gemm_config,
+                    design=self._design, draw_fn=draw_fn,
+                    draw_elems=rows * cols, cast=False)
+                self.cycles += k + mt + nt
                 self.tiles += 1
         return out
 

@@ -33,6 +33,23 @@ class TestStagnation:
         assert curve[-1] <= threshold * 1.01
         assert curve[-1] >= threshold * 0.45  # reached the plateau region
 
+    def test_no_duplicate_final_sample(self):
+        """Regression: when the last step landed on a sampling point the
+        final accumulator was appended twice."""
+        fmt = FP12_E6M5
+        policy = RoundingPolicy.rn(fmt)
+        # steps - 1 = 128 is a multiple of sample_every: samples at
+        # steps 0, 64, 128 and nothing extra.
+        curve = stagnation_curve(fmt, 0.25, steps=129, policy=policy,
+                                 sample_every=64)
+        assert len(curve) == 3
+        # off-boundary: samples at 0, 64, 128 plus the final step 129
+        curve = stagnation_curve(fmt, 0.25, steps=130, policy=policy,
+                                 sample_every=64)
+        assert len(curve) == 4
+        # the empty curve still reports the (zero) accumulator once
+        assert stagnation_curve(fmt, 0.25, steps=0, policy=policy) == [0.0]
+
     def test_sr_curve_does_not_plateau(self):
         fmt = FP12_E6M5
         term = 1.0 / 64

@@ -56,7 +56,12 @@ class TestRegistry:
         assert isinstance(get_engine("chunked"), ChunkedEngine)
         assert get_engine("chunked(8)").chunk == 8
         assert set(available_orders()) == {"sequential", "pairwise",
-                                           "chunked"}
+                                           "chunked", "rtl_rn", "rtl_lazy",
+                                           "rtl_eager"}
+        from repro.emu.engine import RTLEagerEngine
+
+        assert isinstance(get_engine("rtl_eager"), RTLEagerEngine)
+        assert get_engine("rtl_eager").design == "sr_eager"
 
     def test_engine_instance_passthrough(self):
         engine = ChunkedEngine(5)

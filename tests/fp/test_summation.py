@@ -113,6 +113,14 @@ class _SpyPolicy:
         return self.inner.round(values)
 
 
+class _SpyVectorPolicy(_SpyPolicy):
+    """Spy that also forwards the scalar path (recursive/blocked/kahan)."""
+
+    def round_scalar(self, value):
+        self.sizes.append(1)
+        return self.inner.round_scalar(value)
+
+
 class TestPairwiseTreeStructure:
     """The odd tail is carried unrounded (wiring, not an adder), exactly
     like :class:`repro.emu.engine.PairwiseEngine`."""
@@ -140,6 +148,50 @@ class TestPairwiseTreeStructure:
             config = GemmConfig(acc_format=fmt, rounding="nearest")
             want = PairwiseEngine().reduce(values.reshape(n, 1), config)
             assert got == float(np.asarray(want).reshape(-1)[0])
+
+
+class TestUniformInputQuantization:
+    """Every algorithm quantizes its inputs into the policy's format
+    exactly once, up front, so ``ALGORITHMS`` comparisons are
+    like-for-like (regression: only ``pairwise_sum`` used to cast)."""
+
+    def test_all_algorithms_agree_on_representable_exact_sums(self, rng):
+        """On already-representable inputs whose every partial sum is
+        exact, accumulation order cannot matter: all algorithms return
+        the exact sum."""
+        from repro.fp.summation import ALGORITHMS
+
+        values = rng.integers(-20, 21, size=48).astype(np.float64)
+        exact = float(values.sum())
+        policy = RoundingPolicy.rn(FP16)   # p=11 holds every partial
+        results = {name: alg(values, policy)
+                   for name, alg in ALGORITHMS.items()}
+        assert all(r == exact for r in results.values()), results
+
+    def test_input_cast_applied_by_every_algorithm(self):
+        """Off-grid inputs are rounded before any addition.  With
+        a = 1.0 and b = 1 + 1/32 + 1/1024 in E6M5: casting b first
+        gives round(1 + 1.03125) = 2.0 (tie to even), while the old
+        uncast recursive path computed round(1 + 1.033203125) = 2.0625."""
+        from repro.fp.summation import ALGORITHMS
+
+        values = np.array([1.0, 1.0 + 1.0 / 32 + 1.0 / 1024])
+        policy = RoundingPolicy.rn(FP12_E6M5)
+        results = {name: alg(values, policy)
+                   for name, alg in ALGORITHMS.items()}
+        assert all(r == 2.0 for r in results.values()), results
+
+    def test_every_algorithm_casts_the_full_input_first(self, rng):
+        """The first ``policy.round`` call of every algorithm is the
+        one-shot full-array input cast."""
+        from repro.fp.summation import ALGORITHMS
+
+        n = 33
+        values = rng.normal(size=n)
+        for name, algorithm in ALGORITHMS.items():
+            spy = _SpyVectorPolicy(RoundingPolicy.rn(FP12_E6M5))
+            algorithm(values, spy)
+            assert spy.sizes[0] == n, name
 
 
 class TestBlockedValidation:

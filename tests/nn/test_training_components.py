@@ -215,6 +215,20 @@ class TestScalerStepOrdering:
                                      plain.model.parameters()):
             assert np.array_equal(p_scaled.data, p_plain.data)
 
+    def test_nonfinite_probe_batch_raises_no_runtime_warning(self):
+        """Regression: a non-finite operand reaching the FP64 fallback
+        matmul (``default_gemm``) during a loss-scaler probe step leaked
+        ``RuntimeWarning: invalid value encountered in matmul``.  The
+        triggering path must run clean under ``-W error``."""
+        import warnings
+
+        trainer = self._trainer(True)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            trainer.train_batch(np.array([[np.inf, 1.0, 0.0, 0.0]]),
+                                np.array([0]))
+        assert trainer.scaler.skipped_steps == 1
+
     def test_scale_still_grows_and_backs_off(self, rng):
         trainer = self._trainer(True)
         trainer.scaler.growth_interval = 2

@@ -56,6 +56,60 @@ class TestBehavioralArray:
         assert array.cycles == 4 * (16 + 4 + 4)
         assert array.macs_per_cycle == 16
 
+    def test_cycle_accounting_partial_tiles(self, rng):
+        """Edge tiles are charged their actual fill/drain dimensions,
+        not the full array (regression: 10x10 @ 10x10 on an 8x8 array
+        was billed 4 full tiles)."""
+        array = SystolicArray(SystolicConfig(8, 8))
+        a = rng.normal(size=(10, 10))
+        b = rng.normal(size=(10, 10))
+        array.matmul(a, b)
+        assert array.tiles == 4
+        # tiles: (8,8), (8,2), (2,8), (2,2) outputs over K=10
+        want = (10 + 8 + 8) + (10 + 8 + 2) + (10 + 2 + 8) + (10 + 2 + 2)
+        assert array.cycles == want
+
+    def test_matches_macunit_grid_on_shared_lanes(self, rng):
+        """The rewired array computes through the paper's adders: every
+        output element equals a scalar MACUnit.dot seeded with that
+        PE's LFSR lane — including partial edge tiles, where the lane
+        grid is sliced, not re-packed."""
+        from repro.fp.quantize import quantize
+        from repro.rtl.mac import MACUnit
+
+        for rounding in ("sr_eager", "rn"):
+            mac_cfg = MACConfig(6, 5, rounding, False,
+                                0 if rounding == "rn" else 9)
+            rows = cols = 4
+            array = SystolicArray(SystolicConfig(rows, cols, mac_cfg),
+                                  seed=5)
+            m = n = 6
+            k = 10
+            a = quantize(rng.normal(size=(m, k)),
+                         mac_cfg.multiplier_format, "nearest")
+            b = quantize(rng.normal(size=(k, n)),
+                         mac_cfg.multiplier_format, "nearest")
+            if rounding != "rn":
+                # capture the lane phases before matmul consumes draws
+                states = array.gemm_config.stream.lane_states(9)
+            got = array.matmul(a, b)
+            tile = 0
+            for i0 in range(0, m, rows):
+                for j0 in range(0, n, cols):
+                    for i in range(i0, min(m, i0 + rows)):
+                        for j in range(j0, min(n, j0 + cols)):
+                            mac = MACUnit(mac_cfg, seed=None)
+                            if mac.lfsr is not None:
+                                lane = (i - i0) * cols + (j - j0)
+                                mac.lfsr.state = int(states[lane])
+                                # this tile starts after `tile` full
+                                # K-cycle passes of the PRNG bank
+                                for _ in range(tile * k):
+                                    mac.lfsr.step()
+                            want = mac.dot(a[i], b[:, j])
+                            assert want == got[i, j], (rounding, i, j)
+                    tile += 1
+
     def test_shape_validation(self, rng):
         array = SystolicArray(SystolicConfig(2, 2))
         with pytest.raises(ValueError):
