@@ -1,0 +1,40 @@
+"""Shared machine-description block for every ``bench_*.py`` JSON report.
+
+All benchmark snapshots (``BENCH_*.json`` and the CI artifacts) embed
+the same ``"machine"`` object, so numbers recorded in different
+environments are comparable at a glance — in particular, a 1-CPU
+container's honest ~1x parallel "speedups" carry their explanation in
+the artifact itself instead of a prose caveat.
+
+Example::
+
+    from _machine import machine_info
+    report = {"benchmark": "...", "machine": machine_info(), ...}
+"""
+
+import os
+import platform
+
+import numpy as np
+
+#: Bump when the machine-info layout changes, so downstream consumers
+#: comparing BENCH_*.json snapshots can detect incompatible blocks.
+MACHINE_SCHEMA = 1
+
+
+def machine_info() -> dict:
+    """The environment fingerprint embedded in every bench JSON report.
+
+    Example::
+
+        info = machine_info()
+        info["cpu_count"], info["numpy"]
+    """
+    return {
+        "schema": MACHINE_SCHEMA,
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }

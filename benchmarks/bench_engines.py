@@ -22,6 +22,8 @@ import pytest
 
 from repro.emu import GemmConfig, matmul, reference_matmul
 
+from _machine import machine_info
+
 RBITS = 9
 SEED = 3
 
@@ -59,6 +61,7 @@ def run_benchmark(size=256, repeats=3):
     macs = size ** 3
     report = {
         "benchmark": "sr_gemm",
+        "machine": machine_info(),
         "shape": [size, size, size],
         "rbits": RBITS,
         "seconds": results,

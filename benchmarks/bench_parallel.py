@@ -32,7 +32,10 @@ import numpy as np
 import pytest
 
 from repro.emu import GemmConfig, ParallelQuantizedGemm, QuantizedGemm
+from repro.emu.autotune import resolve_workers
 from repro.nn.layers import Conv2d
+
+from _machine import machine_info
 
 RBITS = 9
 SEED = 3
@@ -148,7 +151,8 @@ def _conv_section(size, workers, repeats):
 def run_benchmark(size=256, workers=4, repeats=3, conv_size=32):
     report = {
         "benchmark": "tiled_parallel",
-        "workers": workers,
+        "machine": machine_info(),
+        "workers_resolved": workers,
         "cpu_count": os.cpu_count(),
         "sr_gemm": _gemm_section(size, workers, repeats),
         "tiled_conv_forward": _conv_section(conv_size, workers, repeats),
@@ -182,14 +186,16 @@ def main(argv=None) -> int:
                         help="GEMM dimension (M=K=N)")
     parser.add_argument("--conv-size", type=int, default=32,
                         help="conv input spatial size")
-    parser.add_argument("--workers", type=int, default=4,
-                        help="parallel worker count to benchmark")
+    parser.add_argument("--workers", default="4",
+                        help="parallel worker count to benchmark "
+                             "('auto' = os.cpu_count())")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats (best-of)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write the JSON report to this file")
     args = parser.parse_args(argv)
-    report = run_benchmark(args.size, args.workers, args.repeats,
+    workers = resolve_workers(args.workers)
+    report = run_benchmark(args.size, workers, args.repeats,
                            args.conv_size)
     text = json.dumps(report, indent=2, sort_keys=True)
     print(text)
@@ -198,8 +204,8 @@ def main(argv=None) -> int:
             fh.write(text + "\n")
     conv = report["tiled_conv_forward"]
     gemm_speedup = report["sr_gemm"]["speedup_vs_tiled_workers1"][
-        f"tiled_workers{args.workers}"]
-    print(f"\nSR GEMM speedup at workers={args.workers}: "
+        f"tiled_workers{workers}"]
+    print(f"\nSR GEMM speedup at workers={workers}: "
           f"{gemm_speedup:.2f}x ({os.cpu_count()} CPUs visible); "
           f"tiled-conv im2col residency {conv['tile_im2col_bytes']} B/tile "
           f"vs {conv['full_im2col_bytes']} B full, end-to-end peak "

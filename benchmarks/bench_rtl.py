@@ -33,6 +33,8 @@ from repro.fp.quantize import quantize
 from repro.prng.streams import LFSRStream
 from repro.rtl.mac import MACConfig, MACUnit
 
+from _machine import machine_info
+
 RBITS = 9
 SEED = 11
 DESIGN = "sr_eager"
@@ -91,6 +93,7 @@ def run_benchmark(size=64, repeats=3):
     macs = size ** 3
     return {
         "benchmark": "rtl_gemm",
+        "machine": machine_info(),
         "shape": [size, size, size],
         "design": DESIGN,
         "rbits": RBITS,

@@ -36,6 +36,9 @@ from repro.models import SimpleCNN
 from repro.serve import InferenceSession, ServerApp
 from repro.serve.server import _percentile
 
+from _machine import machine_info
+from repro.emu.autotune import resolve_workers
+
 RBITS = 9
 SEED = 3
 IMAGE_SHAPE = (3, 8, 8)
@@ -151,6 +154,8 @@ def run(requests=48, clients=8, workers=2):
 
     return {
         "benchmark": "serving",
+        "machine": machine_info(),
+        "workers_resolved": workers,
         "model": "simple_cnn(width=4, 8px)",
         "config": f"SR E6M5 r={RBITS}",
         "note": "in-process ServerApp (no HTTP framing); single-core CI "
@@ -165,12 +170,14 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--requests", type=int, default=48)
     parser.add_argument("--clients", type=int, default=8)
-    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--workers", default="2",
+                        help="worker-sweep upper point ('auto' = "
+                             "os.cpu_count())")
     parser.add_argument("--json", default=None,
                         help="write the report to this path")
     args = parser.parse_args(argv)
     report = run(requests=args.requests, clients=args.clients,
-                 workers=args.workers)
+                 workers=resolve_workers(args.workers))
     text = json.dumps(report, indent=2)
     print(text)
     if args.json:

@@ -29,6 +29,9 @@ import time
 import numpy as np
 import pytest
 
+from _machine import machine_info
+from repro.emu.autotune import resolve_workers
+
 from repro.data import make_sequence_classification, sequence_loaders_for
 from repro.emu import GemmConfig, ParallelQuantizedGemm
 from repro.experiments.transformer import (
@@ -89,8 +92,9 @@ def run_benchmark(scale_name="tiny", workers=2, rbits=13):
     base = sections[f"sr_r{rbits}_workers1"]["seconds"]
     return {
         "benchmark": "transformer_workload",
+        "machine": machine_info(),
         "scale": scale_name,
-        "workers": workers,
+        "workers_resolved": workers,
         "rbits": rbits,
         "cpu_count": os.cpu_count(),
         "epochs": scale.epochs,
@@ -128,22 +132,23 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", default="tiny",
                         choices=sorted(TRANSFORMER_SCALES))
-    parser.add_argument("--workers", type=int, default=2,
+    parser.add_argument("--workers", default="2",
                         help="parallel worker count to benchmark")
     parser.add_argument("--rbits", type=int, default=13)
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write the JSON report to this file")
     args = parser.parse_args(argv)
-    report = run_benchmark(args.scale, args.workers, args.rbits)
+    workers = resolve_workers(args.workers)
+    report = run_benchmark(args.scale, workers, args.rbits)
     text = json.dumps(report, indent=2, sort_keys=True)
     print(text)
     if args.json:
         with open(args.json, "w") as fh:
             fh.write(text + "\n")
-    if args.workers > 1:
-        sr_key = f"sr_r{args.rbits}_workers{args.workers}"
+    if workers > 1:
+        sr_key = f"sr_r{args.rbits}_workers{workers}"
         print(f"\ntransformer/{args.scale}: SR speedup at "
-              f"workers={args.workers}: "
+              f"workers={workers}: "
               f"{report['speedup_vs_sr_workers1'][sr_key]:.2f}x "
               f"({os.cpu_count()} CPUs visible); step bit-identity across "
               f"workers verified", file=sys.stderr)

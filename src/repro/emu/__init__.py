@@ -1,5 +1,12 @@
 """Bit-accurate, vectorized MAC/GEMM emulation for DNN training."""
 
+from .autotune import (
+    Schedule,
+    ScheduleCache,
+    get_schedule,
+    resolve_workers,
+    search_schedule,
+)
 from .config import GemmConfig, paper_table3_config
 from .engine import (
     AccumulationEngine,
@@ -28,6 +35,11 @@ from .parallel import (
 
 __all__ = [
     "BLOCK_ROWS",
+    "Schedule",
+    "ScheduleCache",
+    "get_schedule",
+    "resolve_workers",
+    "search_schedule",
     "ParallelQuantizedGemm",
     "TileScheduler",
     "parallel_matmul_batched",

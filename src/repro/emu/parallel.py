@@ -373,18 +373,67 @@ class ParallelQuantizedGemm(QuantizedGemm):
     convolution path uses to keep peak memory bounded by the tile size
     instead of the full column matrix.
 
+    ``autotune`` switches on per-shape schedule resolution via
+    :mod:`repro.emu.autotune` (``"cached"`` consults the persisted
+    schedule cache, ``"search"`` fills misses with timed trials); the
+    constructor's ``workers``/``tile_rows``/``backend`` then act as the
+    default schedule for shapes without a tuned entry.  Schedules are
+    pure wall-clock choices — results are bit-identical whichever one
+    runs (the draw-order contract above).
+
     Example::
 
         gemm = ParallelQuantizedGemm(GemmConfig.sr(9, seed=1), workers=4)
         layer = Conv2d(3, 16, 3, gemm=gemm)   # tiled-im2col path
         attn = MultiHeadAttention(64, 8, gemm=gemm)  # per-head sharding
+        tuned = ParallelQuantizedGemm(GemmConfig.sr(9, seed=1),
+                                      autotune="cached")
     """
 
     def __init__(self, config, *, workers: int = 1,
-                 tile_rows: Optional[int] = None, backend: str = "process"):
+                 tile_rows: Optional[int] = None, backend: str = "process",
+                 autotune: Optional[str] = None,
+                 schedule_cache: Optional[str] = None):
         super().__init__(config)
         self.scheduler = TileScheduler(workers=workers, tile_rows=tile_rows,
                                        backend=backend)
+        self.autotune = autotune if autotune not in (None, "off") else None
+        self.schedule_cache = schedule_cache
+        self._schedule_memo: dict = {}
+
+    def _resolve(self, batch: int, m: int, k: int, n: int):
+        """(scheduler, config) for one GEMM shape class.
+
+        With autotuning off this is the constructor-time scheduler and
+        config.  Otherwise the schedule comes from
+        :func:`repro.emu.autotune.get_schedule` (``"cached"`` consults
+        the on-disk cache, ``"search"`` fills misses by timed trials),
+        memoized per shape bucket on this instance so the per-call cost
+        is one dictionary hit.  Any schedule resolves to a bit-identical
+        result by the draw-order contract, so this is purely a
+        wall-clock decision.
+        """
+        if self.autotune is None:
+            return self.scheduler, self.config
+        from .autotune import Schedule, get_schedule, scheduler_for, \
+            shape_bucket
+
+        bucket = shape_bucket((batch, m, k, n))
+        hit = self._schedule_memo.get(bucket)
+        if hit is not None:
+            return hit
+        default = Schedule(
+            workers=self.scheduler.workers,
+            tile_rows=self.scheduler.tile_blocks * BLOCK_ROWS,
+            backend="serial" if self.scheduler.workers == 1
+            else self.scheduler.backend)
+        schedule = get_schedule(bucket, self.config, mode=self.autotune,
+                                cache_dir=self.schedule_cache,
+                                default=default)
+        resolved = (scheduler_for(schedule),
+                    schedule.apply_config(self.config))
+        self._schedule_memo[bucket] = resolved
+        return resolved
 
     def _count(self, result: np.ndarray) -> np.ndarray:
         self.call_count += 1
@@ -399,11 +448,15 @@ class ParallelQuantizedGemm(QuantizedGemm):
             if a.ndim != 3 or b.ndim != 3:
                 raise ValueError(
                     f"mixed 2D/3D GEMM operands {a.shape} x {b.shape}")
-            result = parallel_matmul_batched(a, b, self.config,
-                                             scheduler=self.scheduler)
+            scheduler, config = self._resolve(a.shape[0], a.shape[1],
+                                              a.shape[2], b.shape[2])
+            result = parallel_matmul_batched(a, b, config,
+                                             scheduler=scheduler)
         else:
-            result = parallel_matmul_batched(a[None], b[None], self.config,
-                                             scheduler=self.scheduler)[0]
+            scheduler, config = self._resolve(1, a.shape[0], a.shape[1],
+                                              b.shape[1])
+            result = parallel_matmul_batched(a[None], b[None], config,
+                                             scheduler=scheduler)[0]
         return self._count(result)
 
     # -- row-streamed entry points (tiled-im2col convolution) ----------
@@ -419,8 +472,10 @@ class ParallelQuantizedGemm(QuantizedGemm):
         out = np.empty((n_rows, bq.shape[1]), dtype=np.float64)
         if out.size == 0:
             return self._count(out)
+        scheduler, config = self._resolve(1, n_rows, bq.shape[0],
+                                          bq.shape[1])
         tasks = _row_block_tasks(producer, n_rows)
-        results = self.scheduler.run(tasks, self.config, b_shared=bq)
+        results = scheduler.run(tasks, config, b_shared=bq)
         for task, value in zip(tasks, results):
             out[task.r0:task.r1] = value
         return self._count(out)
@@ -443,8 +498,10 @@ class ParallelQuantizedGemm(QuantizedGemm):
             finite = finite and bool(np.all(np.isfinite(value)))
             consume(task.r0, task.r1, value)
 
+        scheduler, config = self._resolve(1, n_rows, bq.shape[0],
+                                          bq.shape[1])
         tasks = _row_block_tasks(producer, n_rows)
-        self.scheduler.run_streamed(tasks, self.config, bq, _consume)
+        scheduler.run_streamed(tasks, config, bq, _consume)
         self.call_count += 1
         if not finite:
             self.overflow_count += 1
@@ -468,24 +525,25 @@ class ParallelQuantizedGemm(QuantizedGemm):
         b_producer = _as_producer(b_source)
         if n_rows == 0:
             return self._count(np.zeros((m, n), dtype=np.float64))
+        scheduler, config = self._resolve(1, m, n_rows, n)
         tasks = []
         for band, r0 in enumerate(range(0, n_rows, REDUCE_BAND_ROWS)):
             tasks.append(_OuterBandTask(
                 index=band, key=(0, band), r0=r0,
                 r1=min(n_rows, r0 + REDUCE_BAND_ROWS),
                 a_producer=a_producer, b_producer=b_producer))
-        call_key = _draw_call_key(self.config.stream)
-        partials = self.scheduler.run(tasks, self.config, call_key=call_key)
+        call_key = _draw_call_key(config.stream)
+        partials = scheduler.run(tasks, config, call_key=call_key)
         if len(partials) == 1:
             return self._count(partials[0])
         stacked = np.stack(partials)
-        if self.config.acc_format is None:
+        if config.acc_format is None:
             return self._count(stacked.sum(axis=0))
         combine_cfg = replace(
-            self.config, stream=self.config.stream.spawn(call_key + (1, 0)))
-        if not self.config.per_step:
+            config, stream=config.stream.spawn(call_key + (1, 0)))
+        if not config.per_step:
             return self._count(round_partial(stacked.sum(axis=0),
                                              combine_cfg))
-        engine = get_engine(self.config.accum_order)
+        engine = get_engine(config.accum_order)
         return self._count(np.asarray(engine.reduce(stacked, combine_cfg),
                                       dtype=np.float64).reshape(m, n))

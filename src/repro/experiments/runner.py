@@ -30,6 +30,19 @@ bit-compatible with earlier releases).
 (:mod:`repro.experiments.transformer`).  It always executes on the
 tiled-parallel draw order, so — unlike tables III/IV — its results are
 bit-identical for *any* ``--workers`` value, including 1.
+
+``--workers auto`` resolves to ``os.cpu_count()``.  ``--autotune
+{off,cached,search}`` switches on per-shape schedule resolution via
+:mod:`repro.emu.autotune` (``cached`` reads the persisted schedule
+cache, ``search`` fills misses with timed trials and persists the
+winners; ``--schedule-cache DIR`` overrides the cache location).
+Autotuned runs always execute on the tiled-parallel draw order — like
+``transformer`` — so they are bit-identical to any other tiled-parallel
+run of the same experiment (``--autotune off --workers N>=2`` for
+tables III/IV; any ``--workers`` for ``transformer``), because a
+schedule can only change wall clock, never draws.  Only tables III/IV
+at ``--workers 1 --autotune off`` stay on the distinct legacy serial
+draw order.
 """
 
 from __future__ import annotations
@@ -47,7 +60,8 @@ def _print(text: str) -> None:
 
 def run_experiment(name: str, scale: str,
                    accum_order: str = "sequential",
-                   workers: int = 1) -> None:
+                   workers: int = 1, autotune: str = "off",
+                   schedule_cache=None) -> None:
     start = time.time()
     if name == "table1":
         _print("== Table I: ASIC cost of the 24 adder configurations ==")
@@ -65,14 +79,16 @@ def run_experiment(name: str, scale: str,
                f"accum={accum_order}, workers={workers}) ==")
         rows = training.run_table3(scale, log=_print,
                                    accum_order=accum_order,
-                                   workers=workers)
+                                   workers=workers, autotune=autotune,
+                                   schedule_cache=schedule_cache)
         _print(training.format_accuracy_rows(rows))
     elif name == "table4":
         _print(f"== Table IV: VGG + ResNet50 workloads (scale={scale}, "
                f"accum={accum_order}, workers={workers}) ==")
         results = training.run_table4(scale, log=_print,
                                       accum_order=accum_order,
-                                      workers=workers)
+                                      workers=workers, autotune=autotune,
+                                      schedule_cache=schedule_cache)
         for workload, rows in results.items():
             _print(training.format_accuracy_rows(rows, title=f"-- {workload} --"))
     elif name == "table5":
@@ -86,7 +102,8 @@ def run_experiment(name: str, scale: str,
                f"(scale={scale}, accum={accum_order}, workers={workers}) ==")
         rows = transformer.run_transformer(scale, log=_print,
                                            accum_order=accum_order,
-                                           workers=workers)
+                                           workers=workers, autotune=autotune,
+                                           schedule_cache=schedule_cache)
         _print(transformer.format_transformer_rows(rows))
     elif name == "validation":
         _print("== Sec. III-B: brute-force eager SR validation ==")
@@ -102,6 +119,7 @@ ALL = ["table1", "table2", "table5", "fig5", "validation", "table3", "table4",
 
 
 def main(argv=None) -> int:
+    from ..emu.autotune import resolve_workers
     from ..emu.engine import get_engine
 
     parser = argparse.ArgumentParser(description=__doc__)
@@ -117,16 +135,31 @@ def main(argv=None) -> int:
                              "sequential, pairwise, chunked, chunked(<c>), "
                              "or the bit-true RTL datapath rtl_rn / "
                              "rtl_lazy / rtl_eager")
-    parser.add_argument("--workers", type=int, default=1,
+    parser.add_argument("--workers", default="1",
                         help="worker processes for the tiled-parallel GEMM "
-                             "executor (tables III/IV); 1 = serial path")
+                             "executor (tables III/IV); 1 = serial path, "
+                             "'auto' = os.cpu_count()")
+    parser.add_argument("--autotune", default="off",
+                        choices=("off", "cached", "search"),
+                        help="per-shape schedule resolution for every "
+                             "emulated GEMM (repro.emu.autotune): 'cached' "
+                             "consults the persisted schedule cache, "
+                             "'search' fills misses with timed trials; "
+                             "results are bit-identical either way")
+    parser.add_argument("--schedule-cache", default=None, metavar="DIR",
+                        help="schedule-cache directory (default "
+                             "~/.cache/repro-autotune or "
+                             "$REPRO_AUTOTUNE_CACHE)")
     args = parser.parse_args(argv)
     get_engine(args.accum_order)  # fail fast on unknown engine names
-    if args.workers < 1:
-        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    try:
+        workers = resolve_workers(args.workers)
+    except ValueError as exc:
+        raise SystemExit(f"--workers: {exc}")
     names = ALL if "all" in args.experiments else args.experiments
     for name in names:
-        run_experiment(name, args.scale, args.accum_order, args.workers)
+        run_experiment(name, args.scale, args.accum_order, workers,
+                       args.autotune, args.schedule_cache)
     return 0
 
 

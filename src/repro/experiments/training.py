@@ -78,30 +78,43 @@ def build_model(scale: TrainingScale, dataset: Dataset,
 
 
 def build_gemm(gemm_config: Optional[GemmConfig],
-               workers: int = 1) -> Optional[QuantizedGemm]:
-    """GEMM callable for a run: serial, or tiled-parallel for workers > 1.
+               workers: int = 1, autotune: str = "off",
+               schedule_cache: Optional[str] = None
+               ) -> Optional[QuantizedGemm]:
+    """GEMM callable for a run: serial, tiled-parallel, or autotuned.
 
     ``workers=1`` keeps the serial :class:`QuantizedGemm` (bit-compatible
     with all previously published runs); ``workers>1`` routes every GEMM
     through the tiled-parallel executor, whose per-block substream draw
     order is deterministic and worker-count-invariant but intentionally
     distinct from the serial single-stream order.
+
+    ``autotune`` in ``{"cached", "search"}`` also routes through the
+    tiled-parallel executor (even at ``workers=1`` — schedules only
+    exist there) and resolves each GEMM shape's schedule via
+    :mod:`repro.emu.autotune`; the ``workers`` argument is the default
+    schedule for untuned shapes.  Tuned and default schedules produce
+    bit-identical results by the draw-order contract.
     """
     if gemm_config is None:
         return None
-    if workers > 1:
+    if workers > 1 or autotune in ("cached", "search"):
         from ..emu.parallel import ParallelQuantizedGemm
 
-        return ParallelQuantizedGemm(gemm_config, workers=workers)
+        return ParallelQuantizedGemm(
+            gemm_config, workers=workers,
+            autotune=None if autotune == "off" else autotune,
+            schedule_cache=schedule_cache)
     return QuantizedGemm(gemm_config)
 
 
 def train_once(dataset: Dataset, scale: TrainingScale,
                gemm_config: Optional[GemmConfig], seed: int = 1,
                log: Optional[Callable[[str], None]] = None,
-               workers: int = 1) -> float:
+               workers: int = 1, autotune: str = "off",
+               schedule_cache: Optional[str] = None) -> float:
     """Train one configuration; returns final test accuracy (percent)."""
-    gemm = build_gemm(gemm_config, workers)
+    gemm = build_gemm(gemm_config, workers, autotune, schedule_cache)
     model = build_model(scale, dataset, gemm, seed)
     train_loader, test_loader = loaders_for(
         dataset, batch_size=scale.batch_size, seed=seed)
@@ -140,14 +153,16 @@ def _gemm_config_for(kind: str, e_bits: int, m_bits: int,
 def run_table3(scale_name: str = "small", seed: int = 1,
                log: Optional[Callable[[str], None]] = None,
                accum_order: str = "sequential",
-               workers: int = 1) -> List[AccuracyRow]:
+               workers: int = 1, autotune: str = "off",
+               schedule_cache: Optional[str] = None) -> List[AccuracyRow]:
     """Table III: accuracy vs (E, M) and r on the CIFAR-10 stand-in.
 
     ``accum_order`` selects the accumulation engine for every quantized
     row (datapath ablation: ``sequential`` reproduces the paper's MAC
     chain, ``pairwise``/``chunked(c)`` model adder-tree and blocked
     accumulators); ``workers`` shards every emulated GEMM across that
-    many processes (see :func:`build_gemm`).
+    many processes, and ``autotune``/``schedule_cache`` switch on
+    per-shape schedule resolution (see :func:`build_gemm`).
     """
     from . import records
 
@@ -164,7 +179,8 @@ def run_table3(scale_name: str = "small", seed: int = 1,
                 + ("" if accum_order == "sequential"
                    else f" [{accum_order}]"))
         accuracy = train_once(dataset, scale, config, seed=seed,
-                              workers=workers)
+                              workers=workers, autotune=autotune,
+                              schedule_cache=schedule_cache)
         rows.append(AccuracyRow(label, e_bits, m_bits, rbits, accuracy,
                                 paper_acc))
         if log is not None:
@@ -175,7 +191,9 @@ def run_table3(scale_name: str = "small", seed: int = 1,
 def run_table4(scale_name: str = "small", seed: int = 1,
                log: Optional[Callable[[str], None]] = None,
                accum_order: str = "sequential",
-               workers: int = 1) -> Dict[str, List[AccuracyRow]]:
+               workers: int = 1, autotune: str = "off",
+               schedule_cache: Optional[str] = None
+               ) -> Dict[str, List[AccuracyRow]]:
     """Table IV: VGG16/CIFAR10-like and ResNet50/Imagewoof-like."""
     from . import records
 
@@ -213,7 +231,8 @@ def run_table4(scale_name: str = "small", seed: int = 1,
                     + ("" if accum_order == "sequential"
                        else f" [{accum_order}]"))
             accuracy = train_once(dataset, scale, config, seed=seed,
-                                  workers=workers)
+                                  workers=workers, autotune=autotune,
+                                  schedule_cache=schedule_cache)
             rows.append(AccuracyRow(label, e_bits, m_bits, rbits, accuracy,
                                     paper_acc))
             if log is not None:

@@ -93,18 +93,24 @@ class TransformerRow:
 
 
 def build_transformer_gemm(config: Optional[GemmConfig],
-                           workers: int = 1
+                           workers: int = 1, autotune: str = "off",
+                           schedule_cache: Optional[str] = None
                            ) -> Optional[ParallelQuantizedGemm]:
     """GEMM callable for the transformer workload.
 
     Always the tiled-parallel executor (``workers=1`` is its serial
     fallback with the identical substream schedule), so a run is
     bit-identical for any worker count at the same seed — the
-    acceptance contract of this workload.
+    acceptance contract of this workload.  ``autotune`` resolves each
+    GEMM shape's schedule via :mod:`repro.emu.autotune` (still
+    bit-identical: schedules cannot change draws).
     """
     if config is None:
         return None
-    return ParallelQuantizedGemm(config, workers=workers)
+    return ParallelQuantizedGemm(
+        config, workers=workers,
+        autotune=None if autotune == "off" else autotune,
+        schedule_cache=schedule_cache)
 
 
 def make_dataset(scale: TransformerScale):
@@ -120,9 +126,11 @@ def train_transformer_once(dataset, scale: TransformerScale,
                            gemm_config: Optional[GemmConfig],
                            seed: int = 1,
                            log: Optional[Callable[[str], None]] = None,
-                           workers: int = 1) -> float:
+                           workers: int = 1, autotune: str = "off",
+                           schedule_cache: Optional[str] = None) -> float:
     """Train one configuration; returns final test accuracy (percent)."""
-    gemm = build_transformer_gemm(gemm_config, workers)
+    gemm = build_transformer_gemm(gemm_config, workers, autotune,
+                                  schedule_cache)
     model = TinyTransformer(dataset.vocab_size, dataset.num_classes,
                             d_model=scale.d_model, n_heads=scale.n_heads,
                             depth=scale.depth, max_len=dataset.seq_len,
@@ -138,7 +146,9 @@ def train_transformer_once(dataset, scale: TransformerScale,
 def run_transformer(scale_name: str = "tiny", seed: int = 1,
                     log: Optional[Callable[[str], None]] = None,
                     accum_order: str = "sequential",
-                    workers: int = 1) -> List[TransformerRow]:
+                    workers: int = 1, autotune: str = "off",
+                    schedule_cache: Optional[str] = None
+                    ) -> List[TransformerRow]:
     """The accuracy-vs-``r`` sweep over :data:`TRANSFORMER_ROWS`.
 
     ``accum_order`` selects the accumulation engine for every quantized
@@ -158,7 +168,8 @@ def run_transformer(scale_name: str = "tiny", seed: int = 1,
             order = "" if accum_order == "sequential" else f" [{accum_order}]"
             log(f"[transformer/{scale_name}] {label}{suffix}{order}")
         accuracy = train_transformer_once(dataset, scale, config, seed=seed,
-                                          workers=workers)
+                                          workers=workers, autotune=autotune,
+                                          schedule_cache=schedule_cache)
         if baseline is None:
             baseline = accuracy
         rows.append(TransformerRow(label, rbits, accuracy,

@@ -26,12 +26,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8000,
                         help="0 picks an ephemeral port (printed on start)")
-    parser.add_argument("--workers", type=int, default=1,
+    parser.add_argument("--workers", default="1",
                         help="tiled-parallel GEMM workers (results are "
-                             "bit-identical for any value)")
+                             "bit-identical for any value); 'auto' = "
+                             "os.cpu_count()")
     parser.add_argument("--backend", choices=("thread", "process"),
                         default="thread",
                         help="tiled-parallel scheduler backend")
+    parser.add_argument("--autotune", default="off",
+                        choices=("off", "cached", "search"),
+                        help="per-layer GEMM schedule resolution "
+                             "(repro.emu.autotune); 'search' tunes every "
+                             "layer shape once at load — logits are "
+                             "bit-identical either way")
+    parser.add_argument("--schedule-cache", default=None, metavar="DIR",
+                        help="schedule-cache directory (default "
+                             "~/.cache/repro-autotune or "
+                             "$REPRO_AUTOTUNE_CACHE)")
     parser.add_argument("--max-batch-size", type=int, default=8)
     parser.add_argument("--max-delay-ms", type=float, default=2.0)
     parser.add_argument("--cache-size", type=int, default=1024,
@@ -40,9 +51,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    from ..emu.autotune import resolve_workers
+
     args = build_parser().parse_args(argv)
+    try:
+        workers = resolve_workers(args.workers)
+    except ValueError as exc:
+        raise SystemExit(f"--workers: {exc}")
     session = InferenceSession.from_checkpoint(
-        args.checkpoint, workers=args.workers, backend=args.backend)
+        args.checkpoint, workers=workers, backend=args.backend,
+        autotune=args.autotune, schedule_cache=args.schedule_cache)
     app = ServerApp(session, max_batch_size=args.max_batch_size,
                     max_delay_ms=args.max_delay_ms,
                     cache_entries=args.cache_size)
@@ -50,7 +68,7 @@ def main(argv=None) -> int:
     host, port = server.server_address[:2]
     print(f"repro.serve: checkpoint {args.checkpoint} "
           f"[{session.fingerprint}] config '{session.config.label}' "
-          f"workers={args.workers}", flush=True)
+          f"workers={workers} autotune={args.autotune}", flush=True)
     print(f"serving on http://{host}:{port}", flush=True)
     try:
         server.serve_forever()

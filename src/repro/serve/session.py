@@ -47,7 +47,7 @@ import numpy as np
 
 from ..emu.config import GemmConfig
 from ..emu.gemm import _cast_one
-from ..emu.parallel import TileScheduler, parallel_matmul_batched
+from ..emu.parallel import BLOCK_ROWS, TileScheduler, parallel_matmul_batched
 from ..nn.checkpoint import Checkpoint, load_checkpoint, state_fingerprint
 from ..nn.layers import Conv2d, Linear
 from ..nn.module import Module
@@ -81,14 +81,50 @@ class _ServeGemm:
     """
 
     def __init__(self, config: GemmConfig, scheduler: TileScheduler,
-                 frozen_ids: frozenset):
+                 frozen_ids: frozenset, autotune: Optional[str] = None,
+                 schedule_cache: Optional[str] = None):
         self.config = config
         self.scheduler = scheduler
         self.frozen_ids = frozen_ids
+        self.autotune = autotune if autotune not in (None, "off") else None
+        self.schedule_cache = schedule_cache
         self.call_count = 0
         self.overflow_count = 0
         self._streams: List = []
         self._call_index = 0
+        self._schedule_memo: dict = {}
+
+    def _resolve(self, batch: int, m: int, k: int, n: int):
+        """(scheduler, accum_order) for one per-sample GEMM shape class.
+
+        Mirrors :meth:`repro.emu.parallel.ParallelQuantizedGemm._resolve`
+        — a memoized :func:`repro.emu.autotune.get_schedule` lookup; the
+        session's constructor scheduler is the default schedule.  The
+        resolved accum_order is folded into the per-sample config (which
+        already swaps the stream), so the engine-variant dimension rides
+        the existing ``replace`` path.
+        """
+        if self.autotune is None:
+            return self.scheduler, self.config.accum_order
+        from ..emu.autotune import Schedule, get_schedule, scheduler_for, \
+            shape_bucket
+
+        bucket = shape_bucket((batch, m, k, n))
+        hit = self._schedule_memo.get(bucket)
+        if hit is not None:
+            return hit
+        default = Schedule(
+            workers=self.scheduler.workers,
+            tile_rows=self.scheduler.tile_blocks * BLOCK_ROWS,
+            backend="serial" if self.scheduler.workers == 1
+            else self.scheduler.backend)
+        schedule = get_schedule(bucket, self.config, mode=self.autotune,
+                                cache_dir=self.schedule_cache,
+                                default=default)
+        resolved = (scheduler_for(schedule),
+                    schedule.engine or self.config.accum_order)
+        self._schedule_memo[bucket] = resolved
+        return resolved
 
     def begin(self, streams: List) -> None:
         """Arm the gemm for one forward pass over ``len(streams)``
@@ -123,19 +159,24 @@ class _ServeGemm:
         bq = self._prepare(b)
         if batched:
             out = np.empty((a.shape[0], a.shape[1], b.shape[2]))
+            scheduler, accum_order = self._resolve(
+                groups, a.shape[1], a.shape[2], b.shape[2])
         else:
             out = np.empty((a.shape[0], b.shape[1]))
+            scheduler, accum_order = self._resolve(
+                1, groups, a.shape[1], b.shape[1])
         for i, stream in enumerate(self._streams):
-            cfg = replace(self.config, stream=stream.spawn((g,)))
+            cfg = replace(self.config, stream=stream.spawn((g,)),
+                          accum_order=accum_order)
             rows = slice(i * groups, (i + 1) * groups)
             if batched:
                 out[rows] = parallel_matmul_batched(
                     aq[rows], bq[rows], cfg,
-                    scheduler=self.scheduler, cast=False)
+                    scheduler=scheduler, cast=False)
             else:
                 out[rows] = parallel_matmul_batched(
                     aq[rows][None], bq[None], cfg,
-                    scheduler=self.scheduler, cast=False)[0]
+                    scheduler=scheduler, cast=False)[0]
         self.call_count += 1
         if not np.all(np.isfinite(out)):
             self.overflow_count += 1
@@ -167,6 +208,12 @@ class InferenceSession:
         Request payload description from the checkpoint's model spec
         (``{"kind": "image", "shape": [...]}`` or ``{"kind": "tokens",
         "seq_len": T, "vocab_size": V}``); enables validation.
+    autotune, schedule_cache:
+        ``"cached"`` resolves each per-layer GEMM shape's schedule from
+        the persisted schedule cache (:mod:`repro.emu.autotune`);
+        ``"search"`` additionally tunes every shape once at load via
+        :meth:`tune`.  Logits are bit-identical whichever schedule runs
+        — tuning is a pure throughput choice.
 
     Example::
 
@@ -180,7 +227,9 @@ class InferenceSession:
                  workers: int = 1, tile_rows: Optional[int] = None,
                  backend: str = "thread",
                  fingerprint: Optional[str] = None,
-                 input_spec: Optional[dict] = None):
+                 input_spec: Optional[dict] = None,
+                 autotune: str = "off",
+                 schedule_cache: Optional[str] = None):
         self.config = config if config is not None else GemmConfig()
         self.model = model
         self.input_spec = input_spec
@@ -193,11 +242,15 @@ class InferenceSession:
         scheduler = TileScheduler(workers=self.workers, tile_rows=tile_rows,
                                   backend=backend)
         frozen = self._freeze_weights()
-        self._gemm = _ServeGemm(self.config, scheduler, frozen)
+        self._gemm = _ServeGemm(self.config, scheduler, frozen,
+                                autotune=autotune,
+                                schedule_cache=schedule_cache)
         for module in model.modules():
             if hasattr(module, "gemm"):
                 module.gemm = self._gemm
         model.eval()
+        if autotune == "search":
+            self.tune()
 
     # ------------------------------------------------------------------
     def _config_spec(self) -> dict:
@@ -303,6 +356,30 @@ class InferenceSession:
         """Serve one sample (no batch dimension)."""
         return self.predict_batch([x])[0]
 
+    def tune(self, sample: Optional[np.ndarray] = None) -> bool:
+        """Resolve schedules for every per-layer GEMM shape, once.
+
+        Runs one representative forward pass so each layer's GEMM shape
+        hits :func:`repro.emu.autotune.get_schedule` now (in ``search``
+        mode that means timed trials on cache misses) instead of on the
+        first real request — serving throughput benefits with zero
+        per-request cost, since later lookups are memoized dictionary
+        hits.  ``sample`` defaults to a zero input synthesized from the
+        checkpoint's input spec; returns ``False`` (no-op) when neither
+        is available.  Called automatically at load when the session is
+        built with ``autotune="search"``.
+        """
+        if sample is None:
+            spec = self.input_spec or {}
+            if spec.get("kind") == "tokens":
+                sample = np.zeros(int(spec["seq_len"]), dtype=np.int64)
+            elif spec.get("shape"):
+                sample = np.zeros([int(v) for v in spec["shape"]])
+            else:
+                return False
+        self.predict(np.asarray(sample))
+        return True
+
     # ------------------------------------------------------------------
     @property
     def gemm_calls(self) -> int:
@@ -311,13 +388,18 @@ class InferenceSession:
     @classmethod
     def from_checkpoint(cls, path, *, workers: int = 1,
                         tile_rows: Optional[int] = None,
-                        backend: str = "thread") -> "InferenceSession":
+                        backend: str = "thread",
+                        autotune: str = "off",
+                        schedule_cache: Optional[str] = None
+                        ) -> "InferenceSession":
         """Build a session from a checkpoint written by
         :func:`repro.nn.checkpoint.save_checkpoint` (the sidecar must
-        carry a model spec)."""
+        carry a model spec).  ``autotune="search"`` tunes every
+        per-layer GEMM shape once at load (see :meth:`tune`)."""
         ckpt: Checkpoint = load_checkpoint(path)
         model = ckpt.build_model()
         return cls(model, ckpt.gemm_config(), workers=workers,
                    tile_rows=tile_rows, backend=backend,
                    fingerprint=ckpt.fingerprint,
-                   input_spec=(ckpt.model_spec or {}).get("input"))
+                   input_spec=(ckpt.model_spec or {}).get("input"),
+                   autotune=autotune, schedule_cache=schedule_cache)

@@ -1,0 +1,396 @@
+"""Schedule autotuner: cache robustness, search semantics, bit-identity.
+
+The contracts pinned here (see docs/autotuning.md):
+
+* schedules are pure wall-clock choices — a tuned GEMM, experiment run,
+  or serving session produces **bitwise identical** outputs to the
+  untuned default;
+* the on-disk cache degrades silently: missing, corrupt, or stale
+  entries (and unwritable directories) fall back to the default
+  schedule, concurrent writers are last-writer-wins with no torn reads;
+* warm lookups are memoized dictionary hits, well under a millisecond;
+* the only engine substitution the tuner may make is one proven
+  bit-identical (``chunked(1)`` for ``sequential``), and search can
+  never pick a schedule slower than the default beyond the margin.
+"""
+
+import json
+import os
+import threading
+import time
+import numpy as np
+import pytest
+
+from repro.emu import GemmConfig, ParallelQuantizedGemm, matmul
+from repro.emu.autotune import (
+    DEFAULT_MARGIN,
+    EQUIVALENT_ENGINES,
+    Schedule,
+    ScheduleCache,
+    candidate_schedules,
+    clear_memo,
+    engine_variants,
+    get_schedule,
+    key_digest,
+    resolve_workers,
+    schedule_key,
+    search_schedule,
+    shape_bucket,
+)
+from repro.emu.parallel import BLOCK_ROWS
+
+SHAPE = (1, 64, 27, 8)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_memo()
+    yield
+    clear_memo()
+
+
+@pytest.fixture
+def config():
+    return GemmConfig.sr(9, seed=7)
+
+
+def _store_default(tmp_path, config, schedule=None):
+    key = schedule_key(SHAPE, config)
+    cache = ScheduleCache(str(tmp_path))
+    cache.store(key, schedule or Schedule(tile_rows=2 * BLOCK_ROWS))
+    return key, cache
+
+
+class TestResolveWorkers:
+    def test_auto_is_cpu_count(self):
+        assert resolve_workers("auto") == max(1, os.cpu_count() or 1)
+        assert resolve_workers(" AUTO ") == resolve_workers("auto")
+
+    def test_numeric_and_default(self):
+        assert resolve_workers("4") == 4
+        assert resolve_workers(2) == 2
+        assert resolve_workers(None) == 1
+        assert resolve_workers(None, default=3) == 3
+
+    @pytest.mark.parametrize("bad", ["0", "-1", "many"])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            resolve_workers(bad)
+
+
+class TestSchedule:
+    def test_round_trip(self):
+        schedule = Schedule(workers=4, tile_rows=128, backend="process",
+                            engine="chunked(1)")
+        assert Schedule.from_dict(schedule.to_dict()) == schedule
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Schedule(backend="fiber")
+        with pytest.raises(ValueError):
+            Schedule(workers=0)
+
+    def test_serial_scheduler_forces_one_worker(self):
+        scheduler = Schedule(workers=8, backend="serial").make_scheduler()
+        assert scheduler.workers == 1
+
+    def test_apply_config_swaps_engine_only(self, config):
+        assert Schedule().apply_config(config) is config
+        swapped = Schedule(engine="chunked(1)").apply_config(config)
+        assert swapped.accum_order == "chunked(1)"
+        assert swapped.stream is config.stream
+
+
+class TestCacheKey:
+    def test_shape_bucket_rounds_up(self):
+        assert shape_bucket((3, 100, 64, 10)) == (4, 128, 64, 16)
+        assert shape_bucket((1, 1, 1, 1)) == (1, 1, 1, 1)
+        with pytest.raises(ValueError):
+            shape_bucket((64, 64, 64))
+
+    def test_seed_normalized_away(self, config):
+        other = GemmConfig.sr(9, seed=12345)
+        assert schedule_key(SHAPE, config) == schedule_key(SHAPE, other)
+        assert key_digest(schedule_key(SHAPE, config)) == \
+            key_digest(schedule_key(SHAPE, other))
+
+    def test_datapath_still_separates(self, config):
+        other = GemmConfig.sr(7, seed=7)
+        assert schedule_key(SHAPE, config) != schedule_key(SHAPE, other)
+
+    def test_machine_fields_present(self, config):
+        key = schedule_key(SHAPE, config)
+        assert key["cpu_count"] == (os.cpu_count() or 1)
+        assert key["numpy"] == np.__version__
+
+
+class TestCacheRobustness:
+    """Missing / corrupt / stale entries all behave as silent misses."""
+
+    def test_missing_directory_is_a_miss(self, tmp_path, config):
+        cache = ScheduleCache(str(tmp_path / "never-created"))
+        assert cache.lookup(schedule_key(SHAPE, config)) is None
+        assert get_schedule(SHAPE, config, mode="cached",
+                            cache_dir=str(tmp_path / "never-created")) \
+            == Schedule()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, config):
+        key, cache = _store_default(tmp_path, config)
+        path = cache._path(key)
+        for garbage in ["{not json", "", json.dumps({"schedule": {}}),
+                        json.dumps({"key": "wrong", "schedule": None})]:
+            with open(path, "w") as fh:
+                fh.write(garbage)
+            assert cache.lookup(key) is None
+            clear_memo()
+            assert get_schedule(SHAPE, config, mode="cached",
+                                cache_dir=str(tmp_path)) == Schedule()
+
+    def test_stale_key_is_a_miss(self, tmp_path, config):
+        """Digest collision with a different full key (e.g. an older
+        schema writing under the same basename) must not apply."""
+        key, cache = _store_default(tmp_path, config)
+        entry = json.load(open(cache._path(key)))
+        entry["key"]["schema"] = -1
+        with open(cache._path(key), "w") as fh:
+            json.dump(entry, fh)
+        assert cache.lookup(key) is None
+
+    def test_unwritable_cache_still_searches(self, tmp_path, config):
+        """search mode with an unwritable directory: winner is memoized
+        in-process, the OSError is swallowed."""
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file, not a directory")
+        schedule = get_schedule(SHAPE, config, mode="search",
+                                cache_dir=str(blocked),
+                                search_kwargs={"repeats": 1,
+                                               "max_seconds": 5.0})
+        assert isinstance(schedule, Schedule)
+        # memoized: the second call must not search again
+        start = time.perf_counter()
+        again = get_schedule(SHAPE, config, mode="search",
+                             cache_dir=str(blocked))
+        assert time.perf_counter() - start < 0.01
+        assert again == schedule
+
+    def test_atomic_store_roundtrip(self, tmp_path, config):
+        want = Schedule(workers=2, backend="thread", tile_rows=128)
+        key, cache = _store_default(tmp_path, config, want)
+        assert cache.lookup(key) == want
+        leftovers = [p for p in os.listdir(tmp_path)
+                     if p.endswith(".tmp")]
+        assert leftovers == []
+
+
+class TestConcurrentWriters:
+    def test_last_writer_wins_no_torn_reads(self, tmp_path, config):
+        """Hammer one entry from writer threads while readers loop:
+        every successful read is one of the two valid schedules, never
+        a torn / partially-written entry."""
+        key = schedule_key(SHAPE, config)
+        cache = ScheduleCache(str(tmp_path))
+        variants = [Schedule(tile_rows=BLOCK_ROWS),
+                    Schedule(tile_rows=2 * BLOCK_ROWS)]
+        stop = threading.Event()
+        bad = []
+
+        def writer(schedule):
+            while not stop.is_set():
+                cache.store(key, schedule)
+
+        def reader():
+            while not stop.is_set():
+                got = cache.lookup(key)
+                if got is not None and got not in variants:
+                    bad.append(got)
+
+        threads = [threading.Thread(target=writer, args=(v,))
+                   for v in variants]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        time.sleep(0.5)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert bad == []
+        assert cache.lookup(key) in variants      # last writer won
+
+
+class TestSearch:
+    def test_default_always_candidate(self, config):
+        default = Schedule(tile_rows=2 * BLOCK_ROWS)
+        pool = candidate_schedules(SHAPE, config, default=default)
+        assert pool[0] == default
+        assert Schedule() in pool
+
+    def test_engine_variants_table(self):
+        assert engine_variants("sequential") == ("sequential", "chunked(1)")
+        assert engine_variants("pairwise") == ("pairwise",)
+        assert "sequential" in EQUIVALENT_ENGINES
+
+    def test_winner_never_regresses(self, config):
+        """The winner is the default unless a challenger beats it by
+        more than the margin — checked against the recorded timings."""
+        result = search_schedule(SHAPE, config, repeats=2, max_seconds=10.0)
+        default_s = result.default_seconds
+        if result.schedule == Schedule():
+            assert result.best_seconds == default_s
+        else:
+            assert result.best_seconds < default_s * (1.0 - DEFAULT_MARGIN)
+        assert result.speedup >= 1.0
+
+    def test_search_mode_persists_and_reloads(self, tmp_path, config):
+        first = get_schedule(SHAPE, config, mode="search",
+                             cache_dir=str(tmp_path),
+                             search_kwargs={"repeats": 1,
+                                            "max_seconds": 5.0})
+        clear_memo()                 # force the disk read
+        assert get_schedule(SHAPE, config, mode="cached",
+                            cache_dir=str(tmp_path)) == first
+
+    def test_bad_mode_rejected(self, config):
+        with pytest.raises(ValueError, match="autotune mode"):
+            get_schedule(SHAPE, config, mode="aggressive")
+
+    def test_mode_off_is_default(self, tmp_path, config):
+        _store_default(tmp_path, config)
+        assert get_schedule(SHAPE, config, mode="off",
+                            cache_dir=str(tmp_path)) == Schedule()
+
+
+class TestWarmLookup:
+    def test_under_one_millisecond(self, tmp_path, config):
+        _store_default(tmp_path, config)
+        get_schedule(SHAPE, config, mode="cached", cache_dir=str(tmp_path))
+        start = time.perf_counter()
+        for _ in range(100):
+            get_schedule(SHAPE, config, mode="cached",
+                         cache_dir=str(tmp_path))
+        per_call = (time.perf_counter() - start) / 100
+        assert per_call < 1e-3
+
+    def test_memo_survives_cache_deletion(self, tmp_path, config):
+        key, cache = _store_default(tmp_path, config)
+        want = get_schedule(SHAPE, config, mode="cached",
+                            cache_dir=str(tmp_path))
+        os.unlink(cache._path(key))
+        assert get_schedule(SHAPE, config, mode="cached",
+                            cache_dir=str(tmp_path)) == want
+
+
+class TestBitIdentity:
+    """Tuning is correctness-free: tuned == untuned, bit for bit."""
+
+    def test_chunked1_equals_sequential(self, rng):
+        """The one registered engine substitution, proven directly."""
+        a = rng.normal(size=(48, 33))
+        b = rng.normal(size=(33, 20))
+        seq = matmul(a, b, GemmConfig.sr(9, seed=5))
+        chk = matmul(a, b, GemmConfig.sr(9, seed=5,
+                                         accum_order="chunked(1)"))
+        assert np.array_equal(seq, chk)
+
+    def test_every_candidate_matches_default(self, rng, config):
+        """All enumerated schedules produce the default's bits (the
+        invariant that makes search correctness-free)."""
+        from repro.emu.autotune import scheduler_for
+        from repro.emu.parallel import parallel_matmul_batched
+
+        a, b = rng.normal(size=(2, 70, 24)), rng.normal(size=(2, 24, 6))
+        reference = None
+        for schedule in candidate_schedules((2, 70, 24, 6), config,
+                                            max_workers=2):
+            cfg = schedule.apply_config(GemmConfig.sr(9, seed=7))
+            out = parallel_matmul_batched(a, b, cfg,
+                                          scheduler=scheduler_for(schedule))
+            if reference is None:
+                reference = out
+            else:
+                assert np.array_equal(reference, out), schedule.label
+
+    def test_gemm_tuned_equals_default(self, rng, tmp_path):
+        a, b = rng.normal(size=(70, 24)), rng.normal(size=(24, 6))
+        base = ParallelQuantizedGemm(GemmConfig.sr(9, seed=3), workers=1)
+        tuned = ParallelQuantizedGemm(GemmConfig.sr(9, seed=3), workers=1,
+                                      autotune="search",
+                                      schedule_cache=str(tmp_path))
+        assert np.array_equal(base(a, b), tuned(a, b))
+        # and a second instance reading the now-warm disk cache
+        clear_memo()
+        cached = ParallelQuantizedGemm(GemmConfig.sr(9, seed=3), workers=1,
+                                       autotune="cached",
+                                       schedule_cache=str(tmp_path))
+        base2 = ParallelQuantizedGemm(GemmConfig.sr(9, seed=3), workers=1)
+        assert np.array_equal(base2(a, b), cached(a, b))
+
+    def test_search_never_advances_live_stream(self, rng, tmp_path):
+        """Tuning draws from a private stream: a tuned GEMM's first
+        call consumes exactly the draws an untuned one would."""
+        a, b = rng.normal(size=(30, 16)), rng.normal(size=(16, 4))
+        base = ParallelQuantizedGemm(GemmConfig.sr(9, seed=3), workers=1)
+        tuned = ParallelQuantizedGemm(GemmConfig.sr(9, seed=3), workers=1,
+                                      autotune="search",
+                                      schedule_cache=str(tmp_path))
+        for _ in range(3):           # repeated calls stay in lockstep
+            assert np.array_equal(base(a, b), tuned(a, b))
+
+
+class TestEndToEnd:
+    def test_model_logits_bitwise(self, tmp_path, rng):
+        """The CI assertion: a full model forward through build_gemm
+        with autotune on vs off yields bitwise identical logits."""
+        from repro.data import make_cifar10_like
+        from repro.experiments.training import (TrainingScale, build_gemm,
+                                                build_model)
+
+        scale = TrainingScale("testing", 64, 32, 8, 1, 32, "mlp", 16,
+                              lr=0.05, weight_decay=1e-4)
+        dataset = make_cifar10_like(64, 32, 8, seed=0)
+        x = dataset.test_images[:4]
+
+        def logits(autotune, workers=1):
+            # workers=2 autotune=off is the untuned *tiled* baseline:
+            # every autotuned run shares the tiled draw order, which
+            # differs from the legacy serial path (workers=1, off).
+            gemm = build_gemm(GemmConfig.sr(9, seed=1), workers, autotune,
+                              str(tmp_path))
+            return build_model(scale, dataset, gemm, seed=1).forward(x)
+
+        clear_memo()
+        base = logits("off", workers=2)
+        tuned = logits("search")
+        assert np.array_equal(base, tuned)
+        clear_memo()                 # cold memo, warm disk cache
+        assert np.array_equal(base, logits("cached"))
+
+    def test_training_accuracy_identical(self, tmp_path):
+        from repro.data import make_cifar10_like
+        from repro.experiments.training import TrainingScale, train_once
+
+        scale = TrainingScale("testing", 48, 24, 8, 1, 32, "mlp", 16,
+                              lr=0.05, weight_decay=1e-4)
+        dataset = make_cifar10_like(48, 24, 8, seed=0)
+        # workers=2 is the untuned tiled baseline (see logits test)
+        base = train_once(dataset, scale, GemmConfig.sr(9, seed=1), seed=1,
+                          workers=2)
+        tuned = train_once(dataset, scale, GemmConfig.sr(9, seed=1), seed=1,
+                           autotune="search", schedule_cache=str(tmp_path))
+        assert base == tuned
+
+    def test_serve_session_tune_parity(self, tmp_path, rng):
+        from repro.models import SimpleCNN
+        from repro.serve import InferenceSession
+
+        x = rng.normal(size=(3, 8, 8))
+        plain = InferenceSession(SimpleCNN(10, 3, 4, seed=1),
+                                 GemmConfig.sr(9, seed=3))
+        tuned = InferenceSession(SimpleCNN(10, 3, 4, seed=1),
+                                 GemmConfig.sr(9, seed=3),
+                                 autotune="search",
+                                 schedule_cache=str(tmp_path))
+        # no input_spec on a directly-built session: a no-op without a
+        # sample, a real warm-up pass with one
+        assert not tuned.tune()
+        assert tuned.tune(sample=x)
+        assert np.array_equal(plain.predict(x), tuned.predict(x))
