@@ -39,10 +39,10 @@ def train(label, gemm_config, dataset, args):
         epochs=args.epochs, loss_scale_init=1024.0,
         log=lambda msg: print(f"  [{label}] {msg}"),
     )
-    start = time.time()
+    start = time.time()  # reprolint: disable=DET-CLOCK  progress only
     result = trainer.fit(train_loader, test_loader)
     print(f"{label:<28} final accuracy {100 * result.final_accuracy:5.2f}%  "
-          f"({time.time() - start:.0f}s)")
+          f"({time.time() - start:.0f}s)")  # reprolint: disable=DET-CLOCK
     return result
 
 

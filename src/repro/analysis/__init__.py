@@ -1,4 +1,15 @@
-"""Empirical error analysis of low-precision accumulation (Sec. II)."""
+"""Analysis tooling: empirical error analysis + static contract checks.
+
+Two halves share this package:
+
+* :mod:`repro.analysis.errors` — empirical rounding-error analysis of
+  low-precision accumulation (the paper's Sec. II background);
+* :mod:`repro.analysis.reprolint` — the AST-based static-analysis pass
+  that enforces the determinism, substream-keying and lock-discipline
+  contracts over the whole tree (``python -m repro.analysis``; rule
+  catalog in ``docs/static-analysis.md``, contract map in DESIGN.md
+  section 11).
+"""
 
 from .errors import (
     ErrorSample,
@@ -10,8 +21,26 @@ from .errors import (
     stagnation_threshold,
     variance_reduction_over_algorithms,
 )
+from .reprolint import (
+    Baseline,
+    Finding,
+    Policy,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+    run_paths,
+)
 
 __all__ = [
+    "Baseline",
+    "Finding",
+    "Policy",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "run_paths",
     "ErrorSample",
     "stagnation_threshold",
     "stagnation_curve",

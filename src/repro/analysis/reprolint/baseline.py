@@ -1,0 +1,85 @@
+"""Baseline files: grandfathered findings that do not fail the build.
+
+A baseline entry is ``<content digest>#<occurrence>``: the digest
+hashes (rule, path, stripped source line) — *not* the line number — so
+baselined findings survive unrelated edits elsewhere in the file, and
+the occurrence index disambiguates identical lines.  Adding *new*
+violations of an already-baselined kind still fails: each occurrence
+needs its own entry, and entries are written, never hand-edited
+(``--write-baseline``).
+
+The PR that introduces reprolint fixes or suppresses every real
+finding, so the repo carries **no** baseline file; the mechanism exists
+for adopting new rules over a large tree without blocking on a
+same-day cleanup.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+from .core import Finding
+
+FORMAT_VERSION = 1
+
+
+def _entries(findings: Iterable[Finding]) -> List[str]:
+    seen: Counter = Counter()
+    entries = []
+    for finding in sorted(findings,
+                          key=lambda f: (f.path, f.line, f.col, f.rule)):
+        digest = finding.content_digest()
+        entries.append(f"{digest}#{seen[digest]}")
+        seen[digest] += 1
+    return entries
+
+
+class Baseline:
+    """A set of grandfathered finding fingerprints."""
+
+    def __init__(self, entries: Iterable[str] = ()):
+        self.entries: Set[str] = set(entries)
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r} "
+                f"in {path}")
+        return cls(payload.get("entries", []))
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(_entries(findings))
+
+    def write(self, path) -> None:
+        payload = {"version": FORMAT_VERSION,
+                   "entries": sorted(self.entries)}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                              encoding="utf-8")
+
+    def split(self, findings: Iterable[Finding]
+              ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition findings into (new, grandfathered)."""
+        new: List[Finding] = []
+        old: List[Finding] = []
+        seen: Counter = Counter()
+        for finding in sorted(findings,
+                              key=lambda f: (f.path, f.line, f.col,
+                                             f.rule)):
+            digest = finding.content_digest()
+            entry = f"{digest}#{seen[digest]}"
+            seen[digest] += 1
+            (old if entry in self.entries else new).append(finding)
+        return new, old
+
+    def __len__(self) -> int:
+        return len(self.entries)

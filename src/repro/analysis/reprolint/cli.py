@@ -1,0 +1,104 @@
+"""``python -m repro.analysis`` — the reprolint command line.
+
+Exit status: 0 when every finding is suppressed or baselined, 1 when
+new findings remain, 2 on usage errors.  The default path set is the
+full contract surface (``src benchmarks tools examples``), so CI and
+the tier-1 self-run invoke it with no arguments beyond ``--format``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import Baseline
+from .core import Finding, all_rules
+from .report import render_json, render_text
+from .runner import detect_root, lint_paths
+
+#: The directories under contract when no paths are given.
+DEFAULT_PATHS = ["src", "benchmarks", "tools", "examples"]
+
+#: Default baseline location (repo-relative); absent file = empty.
+BASELINE_NAME = "reprolint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="reprolint: static enforcement of the determinism, "
+                    "substream-keying and lock-discipline contracts")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help=f"files/directories to lint "
+                             f"(default: {' '.join(DEFAULT_PATHS)})")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--output", metavar="FILE", default=None,
+                        help="write the report to FILE as well as stdout")
+    parser.add_argument("--root", metavar="DIR", default=None,
+                        help="repo root for path normalization "
+                             "(default: auto-detect from cwd)")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help=f"baseline file (default: <root>/"
+                             f"{BASELINE_NAME} when it exists)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record current findings as the baseline "
+                             "and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.id:14} {rule.title}")
+        lines.append(f"{'':14} contract: {rule.contract}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    root = Path(args.root).resolve() if args.root else \
+        detect_root(Path.cwd())
+    paths = args.paths or [p for p in DEFAULT_PATHS
+                           if (root / p).exists()]
+    if not paths:
+        print("reprolint: nothing to lint", file=sys.stderr)
+        return 2
+
+    results = lint_paths(paths, root=root)
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for result in results:
+        findings.extend(result.findings)
+        suppressed.extend(result.suppressed)
+
+    baseline_path = Path(args.baseline) if args.baseline \
+        else root / BASELINE_NAME
+    if args.write_baseline:
+        Baseline.from_findings(findings).write(baseline_path)
+        print(f"reprolint: wrote {len(findings)} entr"
+              f"{'y' if len(findings) == 1 else 'ies'} to {baseline_path}")
+        return 0
+    baseline = Baseline.load(baseline_path)
+    new, grandfathered = baseline.split(findings)
+
+    render = render_json if args.format == "json" else render_text
+    report = render(new, grandfathered, suppressed, len(results))
+    print(report, end="" if report.endswith("\n") else "\n")
+    if args.output:
+        Path(args.output).write_text(
+            report if report.endswith("\n") else report + "\n",
+            encoding="utf-8")
+    return 1 if new else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m
+    sys.exit(main())

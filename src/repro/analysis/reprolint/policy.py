@@ -1,0 +1,91 @@
+"""Scope policy: where each contract does and does not apply.
+
+The contracts are scoped, not absolute: benchmarks *measure* wall
+clock, the autotuner's trial loop *is* a timing harness, and the
+engine/parallel internals *own* the frozen draw order.  The default
+policy encodes those scopes; everything else must use a per-line
+suppression (with a reason) so exceptions stay visible in the diff.
+
+A :class:`Scope` names a repo-relative posix path prefix plus an
+optional dotted qualname prefix inside it, so a whitelist can be as
+narrow as one function (``search_schedule`` in the autotuner) or as
+wide as a directory (``benchmarks/``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Scope:
+    """A (path prefix, optional qualname prefix) whitelist entry."""
+
+    path: str
+    qualname: str = ""
+
+    def covers(self, path: str, qualname: str) -> bool:
+        if not (path == self.path or path.startswith(self.path)):
+            return False
+        if not self.qualname:
+            return True
+        return qualname == self.qualname or \
+            qualname.startswith(self.qualname + ".")
+
+
+#: Scopes allowed to read wall clocks / performance counters: timing is
+#: their deliverable, and its result never feeds the datapath.
+#: (``time.monotonic`` is exempt everywhere by convention: it is the
+#: repo's marker for deadline/latency plumbing — see DET-CLOCK.)
+CLOCK_SCOPES: Tuple[Scope, ...] = (
+    Scope("benchmarks/"),
+    Scope("tests/"),
+    # the autotuner's trial loop is the one library-side timing harness;
+    # its measurements pick among bitwise-verified-equal schedules only
+    Scope("src/repro/emu/autotune.py", "search_schedule"),
+)
+
+#: Modules that own the frozen draw-order contract (DESIGN.md sections
+#: 4 and 9): only they may consume raw stream draws.  Everything else
+#: derives a keyed substream via ``spawn(key)`` and hands it to them.
+DRAW_OWNER_SCOPES: Tuple[Scope, ...] = (
+    Scope("src/repro/prng/"),
+    Scope("src/repro/emu/engine.py"),
+    Scope("src/repro/emu/parallel.py"),
+    Scope("src/repro/rtl/vectorized.py"),
+    Scope("src/repro/rtl/systolic.py"),
+    Scope("tests/"),
+)
+
+#: HYG-ASSERT applies to library code only: benchmarks and tests use
+#: ``assert`` as their checking mechanism and never run under -O.
+LIBRARY_PREFIXES: Tuple[str, ...] = ("src/",)
+
+
+@dataclass(frozen=True)
+class Policy:
+    """The whitelists the rules consult (see module docstring)."""
+
+    clock_scopes: Tuple[Scope, ...] = CLOCK_SCOPES
+    draw_owner_scopes: Tuple[Scope, ...] = DRAW_OWNER_SCOPES
+    library_prefixes: Tuple[str, ...] = LIBRARY_PREFIXES
+
+    @classmethod
+    def default(cls) -> "Policy":
+        return cls()
+
+    @staticmethod
+    def _covered(scopes: Sequence[Scope], path: str,
+                 qualname: str) -> bool:
+        return any(scope.covers(path, qualname) for scope in scopes)
+
+    def allows_clock(self, path: str, qualname: str) -> bool:
+        return self._covered(self.clock_scopes, path, qualname)
+
+    def owns_draws(self, path: str, qualname: str) -> bool:
+        return self._covered(self.draw_owner_scopes, path, qualname)
+
+    def is_library(self, path: str) -> bool:
+        return any(path.startswith(prefix)
+                   for prefix in self.library_prefixes)

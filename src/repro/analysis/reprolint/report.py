@@ -1,0 +1,56 @@
+"""Text and JSON reporters over lint results.
+
+The text report is for humans (one ``path:line:col: RULE message`` per
+finding plus a summary line); the JSON report is the machine artifact
+CI uploads — stable keys, no wall-clock timestamps, findings sorted by
+location so diffs between runs are meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .core import Finding
+
+
+def _sorted(findings: List[Finding]) -> List[Finding]:
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def render_text(new: List[Finding], baselined: List[Finding],
+                suppressed: List[Finding], files: int) -> str:
+    lines = [f"{f.location}: {f.rule} {f.message}" for f in _sorted(new)]
+    lines.append(
+        f"reprolint: {files} file(s), {len(new)} finding(s) "
+        f"({len(baselined)} baselined, {len(suppressed)} suppressed)")
+    return "\n".join(lines)
+
+
+def _payload(finding: Finding) -> Dict[str, object]:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "snippet": finding.snippet,
+        "digest": finding.content_digest(),
+    }
+
+
+def render_json(new: List[Finding], baselined: List[Finding],
+                suppressed: List[Finding], files: int) -> str:
+    report = {
+        "tool": "reprolint",
+        "files": files,
+        "counts": {
+            "findings": len(new),
+            "baselined": len(baselined),
+            "suppressed": len(suppressed),
+        },
+        "findings": [_payload(f) for f in _sorted(new)],
+        "baselined": [_payload(f) for f in _sorted(baselined)],
+        "suppressed": [_payload(f) for f in _sorted(suppressed)],
+    }
+    return json.dumps(report, indent=2) + "\n"

@@ -1,0 +1,13 @@
+"""Rule modules — importing this package registers every rule.
+
+Four families (DESIGN.md section 11 maps each to its contract):
+
+* :mod:`.determinism` — ``DET-RANDOM``, ``DET-CLOCK``, ``DET-SETORDER``
+* :mod:`.substream` — ``SUB-DRAW``
+* :mod:`.locks` — ``LOCK-WRITE``
+* :mod:`.hygiene` — ``HYG-ASSERT``, ``HYG-EXCEPT``, ``HYG-IGNORE``
+"""
+
+from . import determinism, hygiene, locks, substream  # noqa: F401
+
+__all__ = ["determinism", "hygiene", "locks", "substream"]

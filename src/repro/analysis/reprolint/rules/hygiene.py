@@ -1,0 +1,105 @@
+"""HYG rules: asserts, broad excepts, unscoped type-ignores.
+
+* **HYG-ASSERT** — a runtime ``assert`` in library code (``src/``)
+  vanishes under ``python -O``, so an invariant guarded by one is not
+  guarded at all; raise a real exception.  Benchmarks and tests are
+  exempt (assertions are their checking mechanism) and docstring
+  usage examples are invisible to the AST anyway.
+* **HYG-EXCEPT** — bare ``except:`` and ``except Exception:`` swallow
+  everything, including the contract-violation errors the datapath
+  raises on purpose.  Cleanup-and-reraise handlers (last statement a
+  bare ``raise``) swallow nothing and are exempt; other deliberate
+  broad handlers (e.g. a dispatch loop that must propagate any failure
+  into per-request futures) carry a ``# reprolint:
+  disable=HYG-EXCEPT`` suppression documenting why.
+* **HYG-IGNORE** — a bare ``# type: ignore`` silences *every* checker
+  error on the line forever; scope it to the error code
+  (``# type: ignore[attr-defined]``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from ..core import FileContext, Finding, Rule, register
+
+_BROAD = {"Exception", "BaseException"}
+_BARE_IGNORE = re.compile(r"#\s*type:\s*ignore(?!\[)")
+
+
+@register
+class LoadBearingAssert(Rule):
+    """Runtime ``assert`` in library code (stripped under -O)."""
+
+    id = "HYG-ASSERT"
+    title = "assert statement in library code (vanishes under python -O)"
+    contract = ("DESIGN.md section 2: invariants hold in every "
+                "interpreter mode; raise a real exception")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.policy.is_library(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield self.finding(
+                    ctx, node,
+                    "library assert is stripped under python -O; raise "
+                    "ValueError/RuntimeError so the invariant survives")
+
+
+def _broad_names(handler: ast.ExceptHandler) -> Iterable[str]:
+    kind = handler.type
+    if kind is None:
+        yield "bare except"
+        return
+    names = kind.elts if isinstance(kind, ast.Tuple) else [kind]
+    for name in names:
+        if isinstance(name, ast.Name) and name.id in _BROAD:
+            yield f"except {name.id}"
+
+
+@register
+class BroadExcept(Rule):
+    """``except:`` / ``except Exception`` without a suppression."""
+
+    id = "HYG-EXCEPT"
+    title = ("bare or over-broad except handler (suppress with a "
+             "reason when deliberate)")
+    contract = ("DESIGN.md section 2: contract-violation errors must "
+                "propagate, not vanish into a catch-all")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            last = node.body[-1] if node.body else None
+            if isinstance(last, ast.Raise) and last.exc is None:
+                continue  # cleanup-and-reraise: swallows nothing
+            for label in _broad_names(node):
+                yield self.finding(
+                    ctx, node,
+                    f"{label} swallows contract-violation errors; "
+                    f"catch specific exceptions, or suppress with a "
+                    f"documented reason if the breadth is deliberate")
+
+
+@register
+class UnscopedTypeIgnore(Rule):
+    """``# type: ignore`` without an error-code scope."""
+
+    id = "HYG-IGNORE"
+    title = "unscoped '# type: ignore' (scope it to an error code)"
+    contract = ("library hygiene: silence one diagnosis, not every "
+                "future one on the line")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for lineno in sorted(ctx.comments):
+            match = _BARE_IGNORE.search(ctx.comments[lineno])
+            if match:
+                yield Finding(
+                    self.id, ctx.path, lineno, match.start(),
+                    "bare '# type: ignore' hides every future error on "
+                    "this line; scope it like '# type: "
+                    "ignore[attr-defined]'", ctx.line(lineno).strip())

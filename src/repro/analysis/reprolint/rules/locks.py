@@ -1,0 +1,165 @@
+"""LOCK-WRITE: guarded attributes may only be written under their lock.
+
+The serving tier (and the coming replica pool) shares mutable state
+across HTTP handler threads and the dispatch thread.  State that a
+class protects with a lock is annotated at its initialization site::
+
+    class ResponseCache:
+        def __init__(self):
+            self._lock = threading.Lock()
+            #: guarded-by: _lock
+            self._hits = 0
+
+The annotation comment (``#: guarded-by: <lockname>``) sits on the
+``self.<attr> = ...`` line or on a comment line directly above it.
+From then on, *every* write to that attribute from any method of the
+class — plain/augmented/annotated assignment, subscript stores
+(``self._entries[k] = v``), deletes, and calls to known mutator
+methods (``append``, ``popitem``, ``move_to_end``, ...) — must be
+lexically inside a ``with self.<lockname>:`` block.  ``__init__`` is
+exempt (the object is not yet shared).  Reads and writes through
+aliased references are out of scope; keep critical sections short and
+copy state out under the lock, as the existing ``stats()`` methods do.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..core import FileContext, Finding, Rule, register
+
+_ANNOTATION = re.compile(r"#:\s*guarded-by:\s*([A-Za-z_]\w*)")
+_SELF_ASSIGN = re.compile(
+    r"\bself\.([A-Za-z_]\w*)\s*(?::[^=]*)?(?:[-+*/|&^%]|//|\*\*)?=(?!=)")
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = {
+    "append", "appendleft", "add", "clear", "discard", "extend",
+    "insert", "move_to_end", "pop", "popitem", "popleft", "remove",
+    "reverse", "rotate", "setdefault", "sort", "update",
+}
+
+#: How many lines below a standalone annotation comment to search for
+#: the attribute initialization it documents.
+_ASSOCIATION_WINDOW = 3
+
+
+def _guarded_attrs(ctx: FileContext,
+                   cls: ast.ClassDef) -> Dict[str, Tuple[str, int]]:
+    """attr -> (lock name, annotation line) for one class body."""
+    guarded: Dict[str, Tuple[str, int]] = {}
+    end = cls.end_lineno or cls.lineno
+    for lineno in range(cls.lineno, end + 1):
+        comment = ctx.comments.get(lineno)
+        if comment is None:
+            continue
+        match = _ANNOTATION.search(comment)
+        if not match:
+            continue
+        lock = match.group(1)
+        assign = _SELF_ASSIGN.search(ctx.line(lineno))
+        if assign is None:
+            for below in range(lineno + 1,
+                               lineno + 1 + _ASSOCIATION_WINDOW):
+                assign = _SELF_ASSIGN.search(ctx.line(below))
+                if assign:
+                    break
+        if assign:
+            guarded[assign.group(1)] = (lock, lineno)
+    return guarded
+
+
+def _self_attr(node: ast.AST, self_name: str) -> Optional[str]:
+    """The ``self.<attr>`` base of an attribute/subscript chain."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        if isinstance(node, ast.Attribute) and \
+                isinstance(node.value, ast.Name) and \
+                node.value.id == self_name:
+            return node.attr
+        node = node.value
+    return None
+
+
+def _written_attrs(node: ast.AST, self_name: str):
+    """(attr, reason) pairs for every self-attribute this node writes."""
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target] if getattr(node, "value", None) is not None \
+            or isinstance(node, ast.AugAssign) else []
+    elif isinstance(node, ast.Delete):
+        targets = node.targets
+    elif isinstance(node, ast.Call) and \
+            isinstance(node.func, ast.Attribute) and \
+            node.func.attr in _MUTATORS:
+        attr = _self_attr(node.func.value, self_name)
+        if attr is not None:
+            yield attr, f"self.{attr}.{node.func.attr}(...)"
+        return
+    else:
+        return
+    for target in targets:
+        attr = _self_attr(target, self_name)
+        if attr is not None:
+            yield attr, f"write to self.{attr}"
+
+
+def _holds_lock(ctx: FileContext, node: ast.AST, self_name: str,
+                lock: str) -> bool:
+    """Is ``node`` lexically inside ``with self.<lock>:``?"""
+    for ancestor in ctx.ancestors(node):
+        if not isinstance(ancestor, (ast.With, ast.AsyncWith)):
+            continue
+        for item in ancestor.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call):  # e.g. self._lock.acquire()?
+                expr = expr.func
+            if isinstance(expr, ast.Attribute) and \
+                    isinstance(expr.value, ast.Name) and \
+                    expr.value.id == self_name and expr.attr == lock:
+                return True
+    return False
+
+
+@register
+class UnguardedWrite(Rule):
+    """Writes to ``#: guarded-by:`` attributes outside their lock."""
+
+    id = "LOCK-WRITE"
+    title = ("write to a lock-guarded attribute outside its "
+             "'with self.<lock>:' block")
+    contract = ("DESIGN.md section 8: shared serving-tier state is "
+                "mutated under its lock only")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            guarded = _guarded_attrs(ctx, cls)
+            if not guarded:
+                continue
+            for method in ast.walk(cls):
+                if not isinstance(method, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)):
+                    continue
+                if method.name == "__init__" or \
+                        ctx.enclosing_class(method) is not cls:
+                    continue
+                if not method.args.args:
+                    continue
+                self_name = method.args.args[0].arg
+                for node in ast.walk(method):
+                    for attr, reason in _written_attrs(node, self_name):
+                        info = guarded.get(attr)
+                        if info is None:
+                            continue
+                        lock, _ = info
+                        if _holds_lock(ctx, node, self_name, lock):
+                            continue
+                        yield self.finding(
+                            ctx, node,
+                            f"{reason} in {cls.name}.{method.name} "
+                            f"outside 'with self.{lock}:' (annotated "
+                            f"guarded-by: {lock})")

@@ -1,0 +1,86 @@
+"""SUB-DRAW: raw stream draws are only legal where the draw order is owned.
+
+The bit-identity contract (DESIGN.md section 4) freezes *which* code
+consumes draws from a stream and in *what* order: the accumulation
+engines, the tiled-parallel executor, and the bit-true RTL datapaths.
+Any other consumer must derive a keyed substream via ``spawn(key)`` —
+a pure function of root identity and key — and hand it to those
+internals; drawing directly from a live stream anywhere else would
+make results depend on call ordering across the whole process.
+
+Detection is convention-based, like the contract itself: a *stream
+draw* is a call to ``integers``/``integers_bulk`` on a receiver whose
+terminal name contains ``stream`` (``config.stream``, ``substream``,
+``request_stream``, ...), a ``draw`` call on an lfsr/bank/stream-named
+receiver, or any call to ``bulk_draws``.  numpy ``Generator`` methods
+on ``rng``-named receivers are *not* stream draws (they are covered by
+``DET-RANDOM``'s ambient/seedless checks instead).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Optional
+
+from ..core import FileContext, Finding, Rule, register
+
+_STREAMY = re.compile(r"stream", re.IGNORECASE)
+_BANKY = re.compile(r"stream|lfsr|bank", re.IGNORECASE)
+
+
+def _terminal_name(node: ast.AST) -> str:
+    """The last identifier of a receiver expression, '' if none."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Call):
+        return _terminal_name(node.func)
+    return ""
+
+
+def stream_draw_reason(call: ast.Call) -> Optional[str]:
+    """Why ``call`` consumes raw stream draws, or ``None``.
+
+    Shared with ``DET-SETORDER``, which needs to know whether a loop
+    body consumes draws at all.
+    """
+    func = call.func
+    if isinstance(func, ast.Name) and func.id == "bulk_draws":
+        return "bulk_draws(...)"
+    if not isinstance(func, ast.Attribute):
+        return None
+    receiver = _terminal_name(func.value)
+    if func.attr in ("integers", "integers_bulk") and \
+            _STREAMY.search(receiver):
+        return f"{receiver}.{func.attr}(...)"
+    if func.attr == "draw" and _BANKY.search(receiver):
+        return f"{receiver}.draw(...)"
+    return None
+
+
+@register
+class RawStreamDraw(Rule):
+    """Raw draws outside the engine/parallel/RTL internals."""
+
+    id = "SUB-DRAW"
+    title = ("raw stream draw outside the internals that own the "
+             "frozen draw order")
+    contract = ("DESIGN.md section 4: all other code derives keyed "
+                "substreams via spawn(key)")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            reason = stream_draw_reason(node)
+            if reason is None:
+                continue
+            if ctx.policy.owns_draws(ctx.path, ctx.qualname(node)):
+                continue
+            yield self.finding(
+                ctx, node,
+                f"raw stream draw {reason} outside the draw-order "
+                f"owners; derive a keyed substream via spawn(key) and "
+                f"pass it to the engine/parallel internals")

@@ -1,0 +1,78 @@
+"""File discovery and the whole-tree lint driver.
+
+Paths are normalized to repo-relative posix form before the rules see
+them, so the policy whitelists (``benchmarks/``,
+``src/repro/emu/engine.py``, ...) match regardless of the working
+directory the CLI was launched from.  The repo root is the nearest
+ancestor carrying ``pyproject.toml`` or ``.git``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+from .core import LintResult, lint_source
+from .policy import Policy
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+def detect_root(start) -> Path:
+    """Nearest ancestor of ``start`` that looks like the repo root."""
+    start = Path(start).resolve()
+    candidates = [start] if start.is_dir() else []
+    candidates += list(start.parents)
+    for candidate in candidates:
+        if (candidate / "pyproject.toml").exists() or \
+                (candidate / ".git").exists():
+            return candidate
+    return start if start.is_dir() else start.parent
+
+
+def discover_files(paths: Iterable, root: Path) -> List[Path]:
+    """Every ``*.py`` file under ``paths``, sorted, caches skipped."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    files.append(candidate)
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def rel_posix(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(paths: Iterable, *, root=None,
+               policy: Optional[Policy] = None) -> List[LintResult]:
+    """Lint every python file under ``paths``; one result per file."""
+    root = Path(root).resolve() if root is not None else \
+        detect_root(Path.cwd())
+    policy = policy or Policy.default()
+    results = []
+    for file_path in discover_files(paths, root):
+        source = file_path.read_text(encoding="utf-8")
+        results.append(lint_source(source, rel_posix(file_path, root),
+                                   policy=policy))
+    return results
+
+
+def run_paths(paths: Iterable, *, root=None,
+              policy: Optional[Policy] = None):
+    """Flat (findings, suppressed) lists over ``paths`` (test helper)."""
+    findings = []
+    suppressed = []
+    for result in lint_paths(paths, root=root, policy=policy):
+        findings.extend(result.findings)
+        suppressed.extend(result.suppressed)
+    return findings, suppressed

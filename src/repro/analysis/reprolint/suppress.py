@@ -1,0 +1,99 @@
+"""Suppression comments: ``# reprolint: disable=RULE-ID``.
+
+Grammar (everything after the rule list — typically a reason — is
+ignored, and *writing* a reason is the convention this repo enforces by
+review)::
+
+    x = time.time()          # reprolint: disable=DET-CLOCK  progress only
+    # reprolint: disable=SUB-DRAW  this module owns the draw order
+    value = stream.integers(9, (4,))
+    # reprolint: disable-file=HYG-EXCEPT
+
+``disable=`` applies to its own line, or — on a comment-only line — to
+the next source line (intervening comment/blank lines may extend the
+justification); ``disable-file=`` applies to the whole file from any
+comment line.  ``disable=all`` silences every rule for that
+line.  Suppressions are parsed from raw source lines (not the AST) so
+they work on lines the parser never materializes, e.g. ``# type:
+ignore`` comments.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Set
+
+_DIRECTIVE = re.compile(
+    r"#\s*reprolint:\s*(disable|disable-file)=([A-Za-z0-9_\-]+"
+    r"(?:\s*,\s*[A-Za-z0-9_\-]+)*)")
+_COMMENT_ONLY = re.compile(r"^\s*#")
+
+
+def comment_lines(source: str) -> Dict[int, str]:
+    """Real comment tokens per line, via :mod:`tokenize`.
+
+    Distinguishes actual ``#`` comments from ``#`` characters inside
+    string literals (docstrings quoting directives must not act as
+    directives).  Unfinishable token streams fall back to a raw-line
+    scan so broken files still get best-effort suppressions.
+    """
+    comments: Dict[int, str] = {}
+    try:
+        for token in tokenize.generate_tokens(
+                io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            if "#" in text:
+                comments[lineno] = text[text.index("#"):]
+    return comments
+
+
+def _rule_set(spec: str) -> Set[str]:
+    return {token.strip().upper() for token in spec.split(",")
+            if token.strip()}
+
+
+class Suppressions:
+    """Per-line and per-file disabled rule sets for one source file."""
+
+    def __init__(self, by_line: Dict[int, Set[str]],
+                 file_wide: Set[str]):
+        self._by_line = by_line
+        self._file_wide = file_wide
+
+    @classmethod
+    def from_source(cls, source: str) -> "Suppressions":
+        by_line: Dict[int, Set[str]] = {}
+        file_wide: Set[str] = set()
+        lines = source.splitlines()
+        for lineno, comment in sorted(comment_lines(source).items()):
+            match = _DIRECTIVE.search(comment)
+            if not match:
+                continue
+            kind, spec = match.group(1), _rule_set(match.group(2))
+            text = lines[lineno - 1] if lineno <= len(lines) else ""
+            if kind == "disable-file":
+                file_wide |= spec
+            elif _COMMENT_ONLY.match(text):
+                # comment-only line: guards the next *source* line, so
+                # the directive may open a multi-line justification block
+                target = lineno + 1
+                while target <= len(lines) and (
+                        not lines[target - 1].strip()
+                        or _COMMENT_ONLY.match(lines[target - 1])):
+                    target += 1
+                by_line.setdefault(target, set()).update(spec)
+            else:
+                by_line.setdefault(lineno, set()).update(spec)
+        return cls(by_line, file_wide)
+
+    def allows(self, rule_id: str, lineno: int) -> bool:
+        """True when ``rule_id`` findings on ``lineno`` are suppressed."""
+        for rules in (self._file_wide, self._by_line.get(lineno, ())):
+            if rule_id.upper() in rules or "ALL" in rules:
+                return True
+        return False

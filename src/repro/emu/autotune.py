@@ -208,7 +208,8 @@ def shape_bucket(shape: Sequence[int]) -> Tuple[int, int, int, int]:
     """
     if len(shape) != 4:
         raise ValueError(f"expected (B, M, K, N), got {tuple(shape)!r}")
-    return tuple(_next_pow2(max(1, int(d))) for d in shape)  # type: ignore
+    return tuple(_next_pow2(max(1, int(d)))
+                 for d in shape)  # type: ignore[return-value]
 
 
 def _config_key(config: GemmConfig) -> dict:

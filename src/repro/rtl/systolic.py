@@ -179,7 +179,13 @@ def build_systolic_netlist(config: SystolicConfig) -> Netlist:
         register("drain_regs", word * config.cols, activity=0.3),
         control("array_ctl", 8.0 + config.rows + config.cols),
     ])
-    assert net.area_ge >= pe_area
+    if net.area_ge < pe_area:
+        # survives python -O, unlike the assert it replaced: losing PE
+        # area means the stage-scaling above dropped components and the
+        # cost model would silently under-report the array
+        raise RuntimeError(
+            f"systolic netlist lost PE area: {net.area_ge:.1f} GE < "
+            f"{pe_area:.1f} GE for {config.rows}x{config.cols} PEs")
     return net
 
 

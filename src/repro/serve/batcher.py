@@ -73,12 +73,14 @@ class MicroBatcher:
         self.max_delay_s = max(0.0, float(max_delay_ms)) / 1000.0
         self._queue: "queue.Queue" = queue.Queue()
         self._thread: Optional[threading.Thread] = None
-        self._stats = BatcherStats()
         self._stats_lock = threading.Lock()
+        #: guarded-by: _stats_lock
+        self._stats = BatcherStats()
         # Serializes submit() against close() so no request can land in
         # the queue behind the shutdown sentinel (it would never be
         # drained and its future.result() would block forever).
         self._close_lock = threading.Lock()
+        #: guarded-by: _close_lock
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -151,7 +153,11 @@ class MicroBatcher:
                     for request in batch]
             results = self.session.predict_batch(
                 [request.x for request in batch], keys)
-        except Exception as error:  # propagate to every waiter
+        # reprolint: disable=HYG-EXCEPT  the dispatch thread must survive
+        # any per-batch failure: every error propagates to the waiters'
+        # futures, so nothing is swallowed — a narrower catch would kill
+        # the loop and hang every queued request forever
+        except Exception as error:
             for request in batch:
                 request.future.set_exception(error)
             return

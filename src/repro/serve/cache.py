@@ -55,10 +55,14 @@ class ResponseCache:
         if max_entries < 0:
             raise ValueError(f"max_entries must be >= 0, got {max_entries}")
         self.max_entries = int(max_entries)
-        self._entries: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self._lock = threading.Lock()
+        #: guarded-by: _lock
+        self._entries: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        #: guarded-by: _lock
         self._hits = 0
+        #: guarded-by: _lock
         self._misses = 0
+        #: guarded-by: _lock
         self._evictions = 0
 
     def get(self, key: str) -> Optional[np.ndarray]:

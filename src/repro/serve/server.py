@@ -64,9 +64,12 @@ class ServerApp:
         self.batcher = MicroBatcher(session, max_batch_size=max_batch_size,
                                     max_delay_ms=max_delay_ms).start()
         self.cache = ResponseCache(cache_entries)
-        self._latencies: deque = deque(maxlen=LATENCY_WINDOW)
         self._lock = threading.Lock()
+        #: guarded-by: _lock
+        self._latencies: deque = deque(maxlen=LATENCY_WINDOW)
+        #: guarded-by: _lock
         self._requests = 0
+        #: guarded-by: _lock
         self._errors = 0
         self._started = time.monotonic()
 
@@ -179,6 +182,9 @@ class _Handler(BaseHTTPRequestHandler):
         except (ValueError, KeyError, TypeError) as error:
             self.app.record_error()
             self._send_json(400, {"error": str(error)})
+        # reprolint: disable=HYG-EXCEPT  last-resort HTTP boundary: an
+        # unexpected failure must become a 500 response (and an /stats
+        # error count), not a silently dropped connection
         except Exception as error:  # pragma: no cover - defensive
             self.app.record_error()
             self._send_json(500, {"error": f"{type(error).__name__}: "
