@@ -1,0 +1,243 @@
+"""Pooled-serving throughput vs replica count, with identity gating.
+
+Drives the sharded multi-process tier (:class:`repro.serve.pool.
+ReplicaPool`: N worker processes over one zero-copy shared-memory
+checkpoint) against the in-process single-process baseline
+(:class:`repro.serve.server.ServerApp`) on the same machine, same
+model, same request mix:
+
+* ``baseline`` — single-process ServerApp, cache off;
+* ``replica_sweep`` — the pool at ``replicas in {1, 2, 4}``, cache off,
+  after asserting the pooled answers are **byte-identical** to the
+  baseline's (no benchmark point is reported for a non-reproducible
+  configuration);
+* ``cache`` — pooled hot-input mix (per-replica response caches).
+
+Accounting is honest: the pool pays pipe IPC per request, and on a
+single-core container any pooled gain comes from moving forward passes
+out from under the client threads' GIL rather than from parallel
+compute — the sweep shows where the crossover lives, and the ``cpus``
+field says what the numbers mean.
+
+Run standalone for the JSON report::
+
+    PYTHONPATH=src python benchmarks/bench_pool.py
+    PYTHONPATH=src python benchmarks/bench_pool.py --requests 24 --json pool-bench.json
+
+Like the sibling bench files, the pytest-benchmark variant (reduced
+size) is collected only when the file is passed explicitly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_pool.py
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.emu import GemmConfig
+from repro.models import SimpleCNN, simple_cnn_spec
+from repro.nn import save_checkpoint
+from repro.serve import InferenceSession, ReplicaPool, ServerApp
+from repro.serve.pool import response_bytes
+from repro.serve.server import _percentile
+
+from _machine import machine_info
+
+RBITS = 9
+SEED = 3
+IMAGE_SHAPE = (3, 8, 8)
+
+
+def make_checkpoint(directory):
+    """A served checkpoint (model spec sidecar included)."""
+    model = SimpleCNN(10, 3, 4, seed=1)
+    spec = simple_cnn_spec(num_classes=10, in_channels=3, width=4,
+                           image_size=8, seed=1)
+    path = os.path.join(directory, "bench_pool.npz")
+    save_checkpoint(model, path, model_spec=spec,
+                    gemm_config=GemmConfig.sr(RBITS, seed=SEED))
+    return path
+
+
+def _inputs(count, repeat_every=0, seed=7):
+    rng = np.random.default_rng(seed)
+    hot = rng.normal(size=IMAGE_SHAPE)
+    out = []
+    for i in range(count):
+        if repeat_every and i % repeat_every == 0:
+            out.append(hot)
+        else:
+            out.append(rng.normal(size=IMAGE_SHAPE))
+    return out
+
+
+def _drive(predict, inputs, clients):
+    """Issue every input from ``clients`` threads via ``predict``."""
+    latencies = [0.0] * len(inputs)
+    cursor = {"next": 0}
+    lock = threading.Lock()
+
+    def worker():
+        while True:
+            with lock:
+                i = cursor["next"]
+                if i >= len(inputs):
+                    return
+                cursor["next"] = i + 1
+            start = time.perf_counter()
+            predict({"input": inputs[i]})
+            latencies[i] = time.perf_counter() - start
+
+    threads = [threading.Thread(target=worker) for _ in range(clients)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - start
+    return wall, latencies
+
+
+def _percentiles(latencies):
+    ordered = sorted(latencies)
+
+    def at(q):
+        return round(1000.0 * _percentile(ordered, q), 3)
+
+    return {"p50_ms": at(0.50), "p95_ms": at(0.95), "p99_ms": at(0.99),
+            "mean_ms": round(1000.0 * sum(ordered) / len(ordered), 3)}
+
+
+def _point(predict, requests, clients, repeat_every=0):
+    wall, latencies = _drive(predict, _inputs(requests, repeat_every),
+                             clients)
+    return {
+        "requests": requests,
+        "clients": clients,
+        "wall_s": round(wall, 4),
+        "requests_per_s": round(requests / wall, 2),
+        "latency": _percentiles(latencies),
+    }
+
+
+def _assert_identity(pool, baseline_bodies, probe_inputs):
+    """Every benchmark configuration must answer byte-identically."""
+    for x, reference in zip(probe_inputs, baseline_bodies):
+        got = response_bytes(pool.predict_json({"input": x}))
+        if got != reference:
+            raise AssertionError(
+                f"pool (replicas={len(pool.replicas())}) diverged from "
+                "the single-process baseline — refusing to benchmark a "
+                "non-reproducible configuration")
+
+
+def run(requests=32, clients=4, replica_counts=(1, 2, 4),
+        start_method="fork"):
+    tmp = tempfile.mkdtemp(prefix="bench-pool-")
+    checkpoint = make_checkpoint(tmp)
+
+    probe_inputs = _inputs(2, seed=11)
+    app = ServerApp(InferenceSession.from_checkpoint(checkpoint),
+                    max_batch_size=8, max_delay_ms=2.0, cache_entries=0)
+    try:
+        baseline_bodies = [response_bytes(app.predict_json({"input": x}))
+                           for x in probe_inputs]
+        baseline = _point(app.predict_json, requests, clients)
+    finally:
+        app.close()
+
+    replica_sweep = []
+    for n in replica_counts:
+        with ReplicaPool(checkpoint, replicas=n, cache_entries=0,
+                         max_batch_size=8, max_delay_ms=2.0,
+                         start_method=start_method) as pool:
+            _assert_identity(pool, baseline_bodies, probe_inputs)
+            point = _point(pool.predict_json, requests, clients)
+            point["replicas"] = n
+            stats = pool.stats()
+            point["router"] = stats["router"]
+            replica_sweep.append(point)
+
+    with ReplicaPool(checkpoint, replicas=2, cache_entries=256,
+                     max_batch_size=8, max_delay_ms=2.0,
+                     start_method=start_method) as pool:
+        cache_point = _point(pool.predict_json, requests, clients,
+                             repeat_every=2)
+        cache_point["replicas"] = 2
+        cache_point["cache_hit_rate"] = pool.stats()["cache"]["hit_rate"]
+
+    best = max(replica_sweep, key=lambda p: p["requests_per_s"])
+    summary = {
+        "baseline_requests_per_s": baseline["requests_per_s"],
+        "best_pooled_requests_per_s": best["requests_per_s"],
+        "best_pooled_replicas": best["replicas"],
+        "pooled_speedup": round(best["requests_per_s"]
+                                / baseline["requests_per_s"], 3),
+    }
+    return {
+        "benchmark": "serving-pool",
+        "machine": machine_info(),
+        "cpus": os.cpu_count(),
+        "model": "simple_cnn(width=4, 8px)",
+        "config": f"SR E6M5 r={RBITS}",
+        "start_method": start_method,
+        "identity_checked": True,
+        "note": "pool pays pipe IPC per request; on a single-core "
+                "container any pooled gain comes from moving the "
+                "forward passes out from under the client threads' "
+                "GIL, not from parallel compute — real scaling needs "
+                "real cores",
+        "summary": summary,
+        "baseline": baseline,
+        "replica_sweep": replica_sweep,
+        "cache": cache_point,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=32)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--replicas", default="1,2,4",
+                        help="comma-separated sweep points")
+    parser.add_argument("--start-method", default="fork",
+                        choices=("fork", "spawn", "forkserver"),
+                        help="fork keeps startup cost out of the "
+                             "numbers; serving defaults to spawn")
+    parser.add_argument("--json", default=None,
+                        help="write the report to this path")
+    args = parser.parse_args(argv)
+    counts = tuple(int(part) for part in args.replicas.split(","))
+    report = run(requests=args.requests, clients=args.clients,
+                 replica_counts=counts, start_method=args.start_method)
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(text + "\n")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark variant (only collected when passed explicitly)
+# ----------------------------------------------------------------------
+def test_pool_predict_smoke(benchmark=None):
+    if benchmark is None:
+        pytest.skip("pytest-benchmark not active")
+    tmp = tempfile.mkdtemp(prefix="bench-pool-")
+    checkpoint = make_checkpoint(tmp)
+    x = _inputs(1)[0]
+    with ReplicaPool(checkpoint, replicas=2, cache_entries=0,
+                     start_method="fork") as pool:
+        benchmark(lambda: pool.predict_json({"input": x}))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

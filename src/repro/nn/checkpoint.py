@@ -65,6 +65,43 @@ def state_fingerprint(state: dict, gemm_spec: Optional[dict]) -> str:
     return digest.hexdigest()[:16]
 
 
+def state_nbytes(state: dict) -> int:
+    """Total payload bytes of a named state dict (shared-memory sizing)."""
+    return sum(int(np.asarray(value).nbytes) for value in state.values())
+
+
+def rebind_parameters(model: Module, state: dict) -> None:
+    """Zero-copy load: point the model's parameters *at* ``state``.
+
+    The copying loader (:meth:`repro.nn.module.Module.load_state_dict`)
+    writes each array into the parameter's own buffer — correct for
+    training, wasteful for serving replicas that should all read one
+    physical copy of the weights.  This rebinds ``param.data`` to the
+    state's arrays directly (they may be read-only views over a
+    :mod:`multiprocessing.shared_memory` segment; nothing in an
+    eval-mode forward pass writes to parameters).  Buffers (batch-norm
+    running statistics) are small and owned per-module, so they are
+    copied, not rebound.
+
+    Raises ``KeyError`` on a missing entry and ``ValueError`` on a
+    shape mismatch — a shared segment published from a different
+    architecture must fail loudly, not serve garbage.
+    """
+    for name, param in model.named_parameters():
+        if name not in state:
+            raise KeyError(
+                f"shared state has no entry for parameter {name!r}")
+        value = np.asarray(state[name])
+        if value.shape != param.data.shape:
+            raise ValueError(
+                f"parameter {name!r}: shared shape {value.shape} != "
+                f"model shape {param.data.shape}")
+        param.data = value
+    for name, buffer in model.named_buffers():
+        if name in state:
+            buffer[...] = state[name]
+
+
 def save_checkpoint(model: Module, path, *, model_spec: Optional[dict] = None,
                     gemm_config=None, extra: Optional[dict] = None) -> str:
     """Write ``path`` (``.npz``) + its JSON sidecar; returns the fingerprint.

@@ -15,16 +15,25 @@ Takes a trained :class:`repro.nn.Module` and serves it over HTTP:
 * :class:`repro.serve.cache.ResponseCache` is a content-keyed LRU over
   (input bytes, checkpoint fingerprint, datapath config).
 * :mod:`repro.serve.server` is a stdlib ``ThreadingHTTPServer`` JSON
-  API (``/predict``, ``/healthz``, ``/stats``), launched via
-  ``python -m repro.serve --checkpoint ckpt.npz --workers N``.
+  API (``/predict``, ``/healthz``, ``/stats``, pooled ``/reload``),
+  launched via ``python -m repro.serve --checkpoint ckpt.npz``.
+* :class:`repro.serve.pool.ReplicaPool` shards serving across worker
+  processes that all read **one** zero-copy shared-memory copy of the
+  frozen checkpoint (:class:`repro.serve.shm.SharedCheckpoint`),
+  routed by the same content hash that keys SR draws and the response
+  cache — so *which replica answers is unobservable*, crashed workers
+  respawn, and checkpoint reloads drain-and-swap with zero drops
+  (``--replicas N``).
 
 Quickstart: ``docs/serving.md``.
 """
 
 from .batcher import BatcherStats, MicroBatcher
 from .cache import CacheStats, ResponseCache
+from .pool import ReplicaError, ReplicaPool
 from .server import ServerApp, make_server
 from .session import InferenceSession
+from .shm import SharedCheckpoint
 
 __all__ = [
     "InferenceSession",
@@ -34,4 +43,7 @@ __all__ = [
     "CacheStats",
     "ServerApp",
     "make_server",
+    "ReplicaPool",
+    "ReplicaError",
+    "SharedCheckpoint",
 ]

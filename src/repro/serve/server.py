@@ -10,6 +10,10 @@ Endpoints (all JSON):
 * ``GET /healthz`` — liveness + checkpoint fingerprint.
 * ``GET /stats`` — request counters, cache hit rate, micro-batch fill,
   and p50/p95/p99 latency over a sliding window.
+* ``POST /reload`` — body ``{"checkpoint": "<path>"}``; only served
+  when the app behind the handler supports drain-and-swap reloads
+  (the replica pool, ``--replicas N`` — see
+  :class:`repro.serve.pool.ReplicaPool`).
 
 Launch from a checkpoint::
 
@@ -144,7 +148,16 @@ class ServerApp:
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Routes the three endpoints onto the :class:`ServerApp`."""
+    """Routes the endpoints onto the application object.
+
+    The handler is app-agnostic: anything exposing ``predict_json`` /
+    ``health`` / ``stats`` / ``record_error`` / ``close`` can sit
+    behind it — a single-process :class:`ServerApp` or a
+    :class:`repro.serve.pool.ReplicaPool`.  ``POST /reload``
+    (drain-and-swap checkpoint replacement) is available exactly when
+    the app implements ``reload_json``; the single-process app does
+    not, the pool does.
+    """
 
     server_version = "repro.serve/1.0"
 
@@ -172,13 +185,17 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"unknown path {self.path}"})
 
     def do_POST(self) -> None:
-        if self.path != "/predict":
+        if self.path == "/reload" and hasattr(self.app, "reload_json"):
+            handler = self.app.reload_json
+        elif self.path == "/predict":
+            handler = self.app.predict_json
+        else:
             self._send_json(404, {"error": f"unknown path {self.path}"})
             return
         try:
             length = int(self.headers.get("Content-Length", "0"))
             payload = json.loads(self.rfile.read(length) or b"{}")
-            self._send_json(200, self.app.predict_json(payload))
+            self._send_json(200, handler(payload))
         except (ValueError, KeyError, TypeError) as error:
             self.app.record_error()
             self._send_json(400, {"error": str(error)})

@@ -54,10 +54,95 @@ from ..nn.module import Module
 
 
 def _root_base(array: np.ndarray) -> np.ndarray:
-    """The underlying buffer of a view chain (transposes, broadcasts)."""
-    while array.base is not None:
+    """The underlying buffer of a view chain (transposes, broadcasts).
+
+    Stops at the outermost *ndarray*: a shared-memory-backed array's
+    ``base`` is the segment's ``memoryview`` (not an ndarray), and the
+    rebound weight view itself is then the identity the frozen-weight
+    check must recognize (:mod:`repro.serve.shm`).
+    """
+    while isinstance(array.base, np.ndarray):
         array = array.base
     return array
+
+
+def request_content_key(fingerprint: str,
+                        x: np.ndarray) -> Tuple[str, Tuple[int, ...]]:
+    """(cache key, SR spawn key) of one validated request input.
+
+    Both derive from one blake2b digest over the checkpoint
+    fingerprint and the input's dtype/shape/bytes, so "same cache
+    entry" and "same SR draws" are literally the same equivalence
+    relation: cacheable responses are exactly the reproducible ones.
+    Module-level so the replica pool's front router
+    (:mod:`repro.serve.pool`) can key requests without building a
+    model — routing by this hash is what lets per-replica caches and
+    per-request SR keying survive sharding by construction.
+    """
+    x = np.ascontiguousarray(x)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(fingerprint.encode())
+    digest.update(str(x.dtype).encode())
+    digest.update(str(x.shape).encode())
+    digest.update(x.tobytes())
+    raw = digest.digest()
+    spawn_key = tuple(int.from_bytes(raw[i:i + 4], "little")
+                      for i in range(0, 16, 4))
+    return digest.hexdigest(), spawn_key
+
+
+def validate_payload(spec: Optional[dict], x) -> np.ndarray:
+    """Coerce one request payload to a model input spec's dtype/shape.
+
+    ``spec`` is the checkpoint sidecar's input description (``None``
+    skips shape checks).  Module-level for the same reason as
+    :func:`request_content_key`: the pool router validates before
+    routing so malformed requests are rejected without crossing a
+    process boundary.
+    """
+    if spec is None:
+        arr = np.asarray(x)
+        return arr if np.issubdtype(arr.dtype, np.integer) \
+            else np.asarray(arr, np.float64)
+    if spec.get("kind") == "tokens":
+        arr = np.asarray(x)
+        if not np.issubdtype(arr.dtype, np.integer) \
+                and not np.all(np.mod(arr, 1) == 0):
+            raise ValueError("token input must be integral")
+        arr = arr.astype(np.int64)
+        expect = (int(spec["seq_len"]),)
+        if arr.shape != expect:
+            raise ValueError(
+                f"expected token shape {expect}, got {arr.shape}")
+        vocab = int(spec["vocab_size"])
+        if arr.min(initial=0) < 0 or arr.max(initial=0) >= vocab:
+            raise ValueError(f"token ids must be in [0, {vocab})")
+        return arr
+    arr = np.asarray(x, np.float64)
+    expect = tuple(int(v) for v in spec.get("shape", ()))
+    if expect and arr.shape != expect:
+        raise ValueError(
+            f"expected input shape {expect}, got {arr.shape}")
+    return arr
+
+
+def freeze_gemm_weights(model: Module, config: GemmConfig) -> frozenset:
+    """Quantize every GEMM-operand weight to the multiplier format,
+    in place, once; returns the frozen arrays' root-buffer ids.
+
+    The round-to-nearest cast is deterministic, so freezing in one
+    process and shipping the bytes to another (the shared-memory
+    checkpoint path) yields exactly the arrays a local freeze would.
+    """
+    frozen = set()
+    if config is None or config.mul_format is None:
+        return frozenset()
+    for module in model.modules():
+        if isinstance(module, (Linear, Conv2d)):
+            weight = module.weight
+            weight.data[...] = _cast_one(weight.data, config)
+            frozen.add(id(_root_base(weight.data)))
+    return frozenset(frozen)
 
 
 class _ServeGemm:
@@ -214,6 +299,12 @@ class InferenceSession:
         ``"search"`` additionally tunes every shape once at load via
         :meth:`tune`.  Logits are bit-identical whichever schedule runs
         — tuning is a pure throughput choice.
+    weights_frozen:
+        The model's GEMM weights are *already* cast to the multiplier
+        format (the shared-memory checkpoint path: a pool parent froze
+        them once before publishing, and the arrays may be read-only
+        views).  The session then only records their identities instead
+        of re-casting in place.
 
     Example::
 
@@ -229,7 +320,8 @@ class InferenceSession:
                  fingerprint: Optional[str] = None,
                  input_spec: Optional[dict] = None,
                  autotune: str = "off",
-                 schedule_cache: Optional[str] = None):
+                 schedule_cache: Optional[str] = None,
+                 weights_frozen: bool = False):
         self.config = config if config is not None else GemmConfig()
         self.model = model
         self.input_spec = input_spec
@@ -241,7 +333,8 @@ class InferenceSession:
         self._lock = threading.Lock()
         scheduler = TileScheduler(workers=self.workers, tile_rows=tile_rows,
                                   backend=backend)
-        frozen = self._freeze_weights()
+        frozen = self._collect_frozen() if weights_frozen \
+            else freeze_gemm_weights(model, self.config)
         self._gemm = _ServeGemm(self.config, scheduler, frozen,
                                 autotune=autotune,
                                 schedule_cache=schedule_cache)
@@ -261,66 +354,25 @@ class InferenceSession:
             # keep fingerprints distinct across formats/r)
             return {"label": self.config.label}
 
-    def _freeze_weights(self) -> frozenset:
-        """Quantize every GEMM-operand weight once; return their ids."""
-        frozen = set()
+    def _collect_frozen(self) -> frozenset:
+        """Root-buffer ids of already-cast GEMM weights (shared path)."""
         if self.config.mul_format is None:
             return frozenset()
-        for module in self.model.modules():
-            if isinstance(module, (Linear, Conv2d)):
-                weight = module.weight
-                weight.data[...] = _cast_one(weight.data, self.config)
-                frozen.add(id(weight.data))
-        return frozenset(frozen)
+        return frozenset(
+            id(_root_base(module.weight.data))
+            for module in self.model.modules()
+            if isinstance(module, (Linear, Conv2d)))
 
     # ------------------------------------------------------------------
     def content_key(self, x: np.ndarray) -> Tuple[str, Tuple[int, ...]]:
-        """(cache key, spawn key) of one request input.
-
-        Both derive from one blake2b digest over the checkpoint
-        fingerprint and the input's dtype/shape/bytes, so "same cache
-        entry" and "same SR draws" are literally the same equivalence
-        relation: cacheable responses are exactly the reproducible
-        ones.
-        """
-        x = np.ascontiguousarray(x)
-        digest = hashlib.blake2b(digest_size=16)
-        digest.update(self.fingerprint.encode())
-        digest.update(str(x.dtype).encode())
-        digest.update(str(x.shape).encode())
-        digest.update(x.tobytes())
-        raw = digest.digest()
-        spawn_key = tuple(int.from_bytes(raw[i:i + 4], "little")
-                          for i in range(0, 16, 4))
-        return digest.hexdigest(), spawn_key
+        """(cache key, spawn key) of one request input — see
+        :func:`request_content_key`."""
+        return request_content_key(self.fingerprint, x)
 
     def validate_input(self, x: np.ndarray) -> np.ndarray:
-        """Coerce one request payload to the model's input dtype/shape."""
-        spec = self.input_spec
-        if spec is None:
-            arr = np.asarray(x)
-            return arr if np.issubdtype(arr.dtype, np.integer) \
-                else np.asarray(arr, np.float64)
-        if spec.get("kind") == "tokens":
-            arr = np.asarray(x)
-            if not np.issubdtype(arr.dtype, np.integer) \
-                    and not np.all(np.mod(arr, 1) == 0):
-                raise ValueError("token input must be integral")
-            arr = arr.astype(np.int64)
-            expect = (int(spec["seq_len"]),)
-            if arr.shape != expect:
-                raise ValueError(
-                    f"expected token shape {expect}, got {arr.shape}")
-            vocab = int(spec["vocab_size"])
-            if arr.min(initial=0) < 0 or arr.max(initial=0) >= vocab:
-                raise ValueError(f"token ids must be in [0, {vocab})")
-            return arr
-        arr = np.asarray(x, np.float64)
-        expect = tuple(int(v) for v in spec.get("shape", ()))
-        if expect and arr.shape != expect:
-            raise ValueError(
-                f"expected input shape {expect}, got {arr.shape}")
-        return arr
+        """Coerce one request payload to the model's input dtype/shape
+        — see :func:`validate_payload`."""
+        return validate_payload(self.input_spec, x)
 
     # ------------------------------------------------------------------
     def predict_batch(self, inputs: Sequence[np.ndarray],
@@ -403,3 +455,37 @@ class InferenceSession:
                    fingerprint=ckpt.fingerprint,
                    input_spec=(ckpt.model_spec or {}).get("input"),
                    autotune=autotune, schedule_cache=schedule_cache)
+
+    @classmethod
+    def from_shared(cls, shared, *, workers: int = 1,
+                    tile_rows: Optional[int] = None,
+                    backend: str = "thread",
+                    autotune: str = "off",
+                    schedule_cache: Optional[str] = None
+                    ) -> "InferenceSession":
+        """Build a session over an attached shared-memory checkpoint.
+
+        ``shared`` is a :class:`repro.serve.shm.SharedCheckpoint`
+        (attached in this process).  The model's parameters are rebound
+        to the segment's read-only views with **zero copies**
+        (:func:`repro.nn.checkpoint.rebind_parameters`): every replica
+        of a pool reads the same physical weight bytes.  The publisher
+        froze the GEMM weights before sharing, so the session is built
+        with ``weights_frozen=True`` and never writes to them.
+        """
+        from ..models.registry import build_model_from_spec
+        from ..nn.checkpoint import rebind_parameters
+
+        model_spec = shared.model_spec
+        if model_spec is None:
+            raise ValueError(
+                "shared checkpoint carries no model spec; it was not "
+                "published from a servable checkpoint")
+        model = build_model_from_spec(model_spec)
+        rebind_parameters(model, shared.state)
+        return cls(model, shared.gemm_config(), workers=workers,
+                   tile_rows=tile_rows, backend=backend,
+                   fingerprint=shared.fingerprint,
+                   input_spec=(model_spec or {}).get("input"),
+                   autotune=autotune, schedule_cache=schedule_cache,
+                   weights_frozen=True)

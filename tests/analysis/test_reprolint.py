@@ -506,12 +506,12 @@ class TestSeededMutations:
 
     def test_ambient_np_random_call_caught(self):
         # an ambient draw slipped into the serving session
-        anchor = "        arr = np.asarray(x, np.float64)\n"
+        anchor = "    arr = np.asarray(x, np.float64)\n"
 
         def mutate(src):
             assert anchor in src
             return src.replace(
-                anchor, anchor + "        jitter = np.random.rand(3)\n",
+                anchor, anchor + "    jitter = np.random.rand(3)\n",
                 1)
 
         findings = lint_real("src/repro/serve/session.py",
@@ -520,14 +520,14 @@ class TestSeededMutations:
         assert "np.random.rand" in findings[0].snippet
 
     def test_raw_stream_draw_outside_whitelist_caught(self):
-        anchor = "        arr = np.asarray(x, np.float64)\n"
+        anchor = "    arr = np.asarray(x, np.float64)\n"
 
         def mutate(src):
             assert anchor in src
             return src.replace(
                 anchor,
                 anchor +
-                "        raw = self.config.stream.integers(9, (4,))\n",
+                "    raw = spec_config.stream.integers(9, (4,))\n",
                 1)
 
         findings = lint_real("src/repro/serve/session.py",

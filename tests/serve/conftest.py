@@ -1,0 +1,63 @@
+"""Shared fixtures for the sharded-serving suites.
+
+The pool tests need checkpoints under several datapath configs (the
+identity suite sweeps SR ``r``, RN, and the LFSR stream).  Weights are
+trained **once** in FP64 — the datapath config only changes the sidecar,
+not the state — so the factory trains on first use and then just
+re-saves the same state per config.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.data import loaders_for, make_cifar10_like
+from repro.emu import GemmConfig
+from repro.fp.formats import FP12_E6M5
+from repro.models import SimpleCNN, simple_cnn_spec
+from repro.nn import Trainer, save_checkpoint
+from repro.prng.streams import LFSRStream
+
+#: config key -> GemmConfig builder.  The identity suite parametrizes
+#: over every key; the other suites pick one.
+SERVE_CONFIGS = {
+    "sr_r4": lambda: GemmConfig.sr(4, seed=3),
+    "sr_r9": lambda: GemmConfig.sr(9, seed=3),
+    "sr_r13": lambda: GemmConfig.sr(13, seed=3),
+    "rn_e6m5": lambda: GemmConfig.rn(FP12_E6M5),
+    "sr_r9_lfsr": lambda: replace(GemmConfig.sr(9, seed=3),
+                                  stream=LFSRStream(seed=7)),
+}
+
+
+def _train_tiny_cnn():
+    """A few FP64 optimization steps on the synthetic image set."""
+    dataset = make_cifar10_like(64, 16, 8, seed=0)
+    model = SimpleCNN(dataset.num_classes, 3, 4, seed=1)
+    train_loader, _ = loaders_for(dataset, batch_size=32, seed=0)
+    trainer = Trainer(model, lr=0.05, epochs=1, weight_decay=1e-4)
+    for images, labels in train_loader():
+        trainer.train_batch(images, labels)
+    spec = simple_cnn_spec(num_classes=dataset.num_classes, in_channels=3,
+                           width=4, image_size=8, seed=1)
+    return model, spec
+
+
+@pytest.fixture(scope="session")
+def serve_checkpoint(tmp_path_factory):
+    """Factory fixture: ``serve_checkpoint("sr_r9") -> Path``."""
+    root = tmp_path_factory.mktemp("pool-ckpts")
+    cache = {}
+
+    def factory(config_key="sr_r9"):
+        if "model" not in cache:
+            cache["model"], cache["spec"] = _train_tiny_cnn()
+        if config_key not in cache:
+            path = root / f"{config_key}.npz"
+            save_checkpoint(cache["model"], path,
+                            model_spec=cache["spec"],
+                            gemm_config=SERVE_CONFIGS[config_key]())
+            cache[config_key] = path
+        return cache[config_key]
+
+    return factory
