@@ -1,0 +1,200 @@
+"""Observability overhead: disabled hooks, enabled tracing, serving.
+
+Three measurements, reported as a JSON artifact:
+
+* ``hook`` — per-call cost of the guarded hot-path hook pattern
+  (``cm = span(...) if _trace.active else NULL``) with tracing
+  disabled (the cost compiled into every GEMM forever) and enabled
+  (span construction + two monotonic reads + ring-buffer append);
+* ``gemm`` — wall time of the 256x256x256 SR GEMM with tracing off vs
+  on, plus the bitwise-identity check (the whole point: tracing is
+  free-ish *and* cannot move a bit);
+* ``serving`` — one in-process serving throughput point
+  (:class:`repro.serve.server.ServerApp`, cache off) with tracing on,
+  comparable against the untraced points in ``BENCH_serving.json``.
+
+Run standalone for the JSON report::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py
+    PYTHONPATH=src python benchmarks/bench_obs.py --json obs-bench.json
+
+Like the sibling bench files, the pytest-benchmark variant (reduced
+size) is collected only when the file is passed explicitly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_obs.py
+"""
+
+import argparse
+import json
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.emu import GemmConfig, QuantizedGemm
+from repro.obs import tracing
+from repro.obs import trace as _trace
+from repro.serve import InferenceSession, ServerApp
+from repro.models import SimpleCNN
+
+from _machine import machine_info
+
+RBITS = 9
+SEED = 3
+
+
+# ----------------------------------------------------------------------
+# hook overhead
+# ----------------------------------------------------------------------
+def _hooked_once():
+    cm = _trace.span("bench/hook") if _trace.active else _trace.NULL
+    with cm:
+        pass
+
+
+def _time_hook(iterations, repeats=5):
+    """Best-of-N per-call cost of the guarded hook pattern (seconds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            _hooked_once()
+        best = min(best, time.perf_counter() - start)
+    return best / iterations
+
+
+def bench_hook(iterations=200_000):
+    disabled = _time_hook(iterations)
+    with tracing():
+        enabled = _time_hook(iterations)
+    return {
+        "iterations": iterations,
+        "disabled_ns_per_call": round(1e9 * disabled, 1),
+        "enabled_ns_per_call": round(1e9 * enabled, 1),
+    }
+
+
+# ----------------------------------------------------------------------
+# 256^3 SR GEMM, tracing off vs on
+# ----------------------------------------------------------------------
+def _gemm_run(a, b):
+    return QuantizedGemm(GemmConfig.sr(RBITS, seed=SEED))(a, b)
+
+
+def bench_gemm(size=256, repeats=3):
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((size, size))
+    b = rng.standard_normal((size, size))
+
+    def best_of(run):
+        best, out = float("inf"), None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            out = run()
+            best = min(best, time.perf_counter() - start)
+        return best, out
+
+    plain_s, plain = best_of(lambda: _gemm_run(a, b))
+    with tracing():
+        traced_s, traced = best_of(lambda: _gemm_run(a, b))
+    assert traced.tobytes() == plain.tobytes(), \
+        "tracing moved GEMM bits"
+    return {
+        "shape": f"{size}x{size}x{size}",
+        "config": f"SR E6M5 r={RBITS}",
+        "disabled_s": round(plain_s, 4),
+        "enabled_s": round(traced_s, 4),
+        "overhead_pct": round(100.0 * (traced_s / plain_s - 1.0), 2),
+        "bitwise_identical": True,
+    }
+
+
+# ----------------------------------------------------------------------
+# serving throughput with tracing on
+# ----------------------------------------------------------------------
+def bench_serving(requests=32, clients=8):
+    session = InferenceSession(SimpleCNN(10, 3, 4, seed=1),
+                               GemmConfig.sr(RBITS, seed=SEED))
+    app = ServerApp(session, max_batch_size=8, max_delay_ms=2.0,
+                    cache_entries=0)
+    rng = np.random.default_rng(7)
+    inputs = [rng.normal(size=(3, 8, 8)) for _ in range(requests)]
+    cursor = {"next": 0}
+    lock = threading.Lock()
+
+    def worker():
+        while True:
+            with lock:
+                i = cursor["next"]
+                if i >= len(inputs):
+                    return
+                cursor["next"] = i + 1
+            app.predict(inputs[i])
+
+    try:
+        with tracing() as recorder:
+            threads = [threading.Thread(target=worker)
+                       for _ in range(clients)]
+            start = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            wall = time.perf_counter() - start
+        spans = len(recorder.events())
+    finally:
+        app.close()
+    return {
+        "requests": requests,
+        "clients": clients,
+        "max_batch_size": 8,
+        "tracing": "enabled",
+        "wall_s": round(wall, 4),
+        "requests_per_s": round(requests / wall, 2),
+        "spans_recorded": spans,
+        "note": "compare against the untraced batch_sweep points in "
+                "BENCH_serving.json",
+    }
+
+
+def run(iterations=200_000, requests=32, clients=8):
+    return {
+        "benchmark": "obs",
+        "machine": machine_info(),
+        "hook": bench_hook(iterations),
+        "gemm": bench_gemm(),
+        "serving": bench_serving(requests, clients),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--iterations", type=int, default=200_000)
+    parser.add_argument("--requests", type=int, default=32)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--json", default=None,
+                        help="write the report to this path")
+    args = parser.parse_args(argv)
+    report = run(iterations=args.iterations, requests=args.requests,
+                 clients=args.clients)
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(text + "\n")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark variant (only collected when passed explicitly)
+# ----------------------------------------------------------------------
+def test_disabled_hook_overhead_smoke(benchmark=None):
+    if benchmark is None:
+        pytest.skip("pytest-benchmark not active")
+    benchmark(_hooked_once)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

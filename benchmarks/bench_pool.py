@@ -46,7 +46,7 @@ from repro.models import SimpleCNN, simple_cnn_spec
 from repro.nn import save_checkpoint
 from repro.serve import InferenceSession, ReplicaPool, ServerApp
 from repro.serve.pool import response_bytes
-from repro.serve.server import _percentile
+from repro.obs import percentile
 
 from _machine import machine_info
 
@@ -109,7 +109,7 @@ def _percentiles(latencies):
     ordered = sorted(latencies)
 
     def at(q):
-        return round(1000.0 * _percentile(ordered, q), 3)
+        return round(1000.0 * percentile(ordered, q), 3)
 
     return {"p50_ms": at(0.50), "p95_ms": at(0.95), "p99_ms": at(0.99),
             "mean_ms": round(1000.0 * sum(ordered) / len(ordered), 3)}

@@ -34,7 +34,7 @@ import pytest
 from repro.emu import GemmConfig
 from repro.models import SimpleCNN
 from repro.serve import InferenceSession, ServerApp
-from repro.serve.server import _percentile
+from repro.obs import percentile
 
 from _machine import machine_info
 from repro.emu.autotune import resolve_workers
@@ -98,7 +98,7 @@ def _percentiles(latencies):
     ordered = sorted(latencies)
 
     def at(q):
-        return round(1000.0 * _percentile(ordered, q), 3)
+        return round(1000.0 * percentile(ordered, q), 3)
 
     return {"p50_ms": at(0.50), "p95_ms": at(0.95), "p99_ms": at(0.99),
             "mean_ms": round(1000.0 * sum(ordered) / len(ordered), 3)}

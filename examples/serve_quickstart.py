@@ -47,7 +47,7 @@ def train_and_save(path: Path, *, n_train: int, epochs: int,
           f"(final accuracy {100 * result.final_accuracy:.1f}%)")
 
 
-def serve_demo(path: Path) -> None:
+def serve_demo(path: Path, metrics_out: Path | None = None) -> None:
     rng = np.random.default_rng(7)
     x = rng.normal(size=(3, 8, 8))
     others = [rng.normal(size=(3, 8, 8)) for _ in range(3)]
@@ -72,6 +72,9 @@ def serve_demo(path: Path) -> None:
         stats = app.stats()
         print(f"cache hit rate: {stats['cache']['hit_rate']:.2f}  "
               f"batches: {stats['batcher']['batches']}")
+        if metrics_out is not None:
+            metrics_out.write_text(app.metrics_text())
+            print(f"metrics exposition -> {metrics_out}")
     finally:
         app.close()
     print("PASS" if np.array_equal(alone, in_batch)
@@ -85,17 +88,37 @@ def main() -> None:
     parser.add_argument("--epochs", type=int, default=2)
     parser.add_argument("--n-train", type=int, default=256)
     parser.add_argument("--width", type=int, default=4)
+    parser.add_argument("--trace", metavar="TRACE.json", default=None,
+                        help="record the demo as Chrome trace_event "
+                             "JSON (chrome://tracing / "
+                             "'python -m repro.obs summarize')")
+    parser.add_argument("--metrics", metavar="METRICS.txt", default=None,
+                        help="write the demo server's /metrics "
+                             "Prometheus exposition to this path")
     args = parser.parse_args()
 
     if args.train:
         train_and_save(Path(args.train), n_train=args.n_train,
                        epochs=args.epochs, width=args.width)
         return
-    with tempfile.TemporaryDirectory() as tmp:
-        path = Path(tmp) / "ckpt.npz"
-        train_and_save(path, n_train=args.n_train, epochs=args.epochs,
-                       width=args.width)
-        serve_demo(path)
+
+    def demo() -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "ckpt.npz"
+            train_and_save(path, n_train=args.n_train, epochs=args.epochs,
+                           width=args.width)
+            serve_demo(path, metrics_out=Path(args.metrics)
+                       if args.metrics else None)
+
+    if args.trace:
+        from repro.obs import tracing
+
+        with tracing() as recorder:
+            demo()
+        count = recorder.export_chrome(args.trace)
+        print(f"trace: {count} spans -> {args.trace}")
+    else:
+        demo()
 
 
 if __name__ == "__main__":

@@ -44,6 +44,10 @@ CLOCK_SCOPES: Tuple[Scope, ...] = (
     # the autotuner's trial loop is the one library-side timing harness;
     # its measurements pick among bitwise-verified-equal schedules only
     Scope("src/repro/emu/autotune.py", "search_schedule"),
+    # the observability layer is the sanctioned clock owner: spans and
+    # latency histograms time phases, and their readings never feed the
+    # datapath (DESIGN.md section 13)
+    Scope("src/repro/obs/"),
 )
 
 #: Modules that own the frozen draw-order contract (DESIGN.md sections

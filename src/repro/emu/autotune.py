@@ -64,6 +64,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import trace as _trace
+from ..obs.metrics import GLOBAL as _METRICS
 from ..prng.streams import LFSRStream, SoftwareStream
 from .config import GemmConfig
 
@@ -493,25 +495,35 @@ def search_schedule(shape: Sequence[int], config: GemmConfig, *,
                                         bucket, config, default=default,
                                         max_workers=max_workers))
                         if c != default]
+    _METRICS.counter("autotune_searches_total").inc()
+    search_cm = _trace.span(
+        "autotune/search", shape="x".join(str(d) for d in bucket),
+        candidates=len(pool)) if _trace.active else _trace.NULL
 
     reference: Optional[np.ndarray] = None
     seconds: Dict[str, float] = {}
-    for schedule in pool:
-        start = time.perf_counter()
-        out = _run(schedule)
-        best = time.perf_counter() - start
-        if reference is None:
-            reference = out
-        elif not np.array_equal(reference, out):
-            # never expected: the schedule space is equivalence-gated
-            continue
-        for _ in range(max(0, repeats - 1)):
-            if time.perf_counter() + best > deadline:
-                break
-            start = time.perf_counter()
-            _run(schedule)
-            best = min(best, time.perf_counter() - start)
-        seconds[schedule.label] = best
+    with search_cm:
+        for schedule in pool:
+            trial_cm = _trace.span("autotune/trial",
+                                   schedule=schedule.label) \
+                if _trace.active else _trace.NULL
+            with trial_cm:
+                start = time.perf_counter()
+                out = _run(schedule)
+                best = time.perf_counter() - start
+                if reference is None:
+                    reference = out
+                elif not np.array_equal(reference, out):
+                    # never expected: the schedule space is
+                    # equivalence-gated
+                    continue
+                for _ in range(max(0, repeats - 1)):
+                    if time.perf_counter() + best > deadline:
+                        break
+                    start = time.perf_counter()
+                    _run(schedule)
+                    best = min(best, time.perf_counter() - start)
+                seconds[schedule.label] = best
 
     default_seconds = seconds[default.label]
     winner, winner_seconds = default, default_seconds
@@ -570,8 +582,11 @@ def get_schedule(shape: Sequence[int], config: GemmConfig, *,
     memo_key = (cache.directory, key_digest(key))
     hit = _MEMO.get(memo_key, _MEMO)        # sentinel: _MEMO = "absent"
     if hit is not _MEMO:
+        _METRICS.counter("autotune_memo_hits_total").inc()
         return hit if hit is not None else default
     schedule = cache.lookup(key)
+    _METRICS.counter("autotune_cache_hits_total" if schedule is not None
+                     else "autotune_cache_misses_total").inc()
     if schedule is None and mode == "search":
         result = search_schedule(shape, config, default=default,
                                  **(search_kwargs or {}))

@@ -52,6 +52,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..fp.quantize import quantize
+from ..obs import trace as _trace
 from .engine import get_engine, round_partial
 from .gemm import QuantizedGemm, _cast_one, matmul
 
@@ -393,8 +394,8 @@ class ParallelQuantizedGemm(QuantizedGemm):
     def __init__(self, config, *, workers: int = 1,
                  tile_rows: Optional[int] = None, backend: str = "process",
                  autotune: Optional[str] = None,
-                 schedule_cache: Optional[str] = None):
-        super().__init__(config)
+                 schedule_cache: Optional[str] = None, registry=None):
+        super().__init__(config, registry=registry)
         self.scheduler = TileScheduler(workers=workers, tile_rows=tile_rows,
                                        backend=backend)
         self.autotune = autotune if autotune not in (None, "off") else None
@@ -435,11 +436,19 @@ class ParallelQuantizedGemm(QuantizedGemm):
         self._schedule_memo[bucket] = resolved
         return resolved
 
-    def _count(self, result: np.ndarray) -> np.ndarray:
-        self.call_count += 1
-        if not np.all(np.isfinite(result)):
-            self.overflow_count += 1
-        return result
+    def _span(self, scheduler: TileScheduler, batch: int, m: int,
+              k: int, n: int):
+        """A live ``emu/gemm`` span for one dispatched parallel GEMM.
+
+        Only called when tracing is active; records the resolved
+        schedule (tile count, workers, backend) alongside the shape so
+        trace summaries show where the scheduler spent its time.
+        """
+        tiles = batch * (-(-m // BLOCK_ROWS))
+        return _trace.span(self.SPAN_NAME, shape=f"{batch}x{m}x{k}x{n}",
+                           engine=self.config.accum_order, tiles=tiles,
+                           workers=scheduler.workers,
+                           backend=scheduler.backend)
 
     def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         a = np.asarray(a, np.float64)
@@ -448,16 +457,23 @@ class ParallelQuantizedGemm(QuantizedGemm):
             if a.ndim != 3 or b.ndim != 3:
                 raise ValueError(
                     f"mixed 2D/3D GEMM operands {a.shape} x {b.shape}")
-            scheduler, config = self._resolve(a.shape[0], a.shape[1],
-                                              a.shape[2], b.shape[2])
-            result = parallel_matmul_batched(a, b, config,
-                                             scheduler=scheduler)
+            batch, m, k = a.shape
+            n = b.shape[2]
+            scheduler, config = self._resolve(batch, m, k, n)
+            cm = self._span(scheduler, batch, m, k, n) if _trace.active \
+                else _trace.NULL
+            with cm:
+                result = parallel_matmul_batched(a, b, config,
+                                                 scheduler=scheduler)
         else:
-            scheduler, config = self._resolve(1, a.shape[0], a.shape[1],
-                                              b.shape[1])
-            result = parallel_matmul_batched(a[None], b[None], config,
-                                             scheduler=scheduler)[0]
-        return self._count(result)
+            batch, (m, k), n = 1, a.shape, b.shape[1]
+            scheduler, config = self._resolve(1, m, k, n)
+            cm = self._span(scheduler, 1, m, k, n) if _trace.active \
+                else _trace.NULL
+            with cm:
+                result = parallel_matmul_batched(a[None], b[None], config,
+                                                 scheduler=scheduler)[0]
+        return self._observe(result, batch, m, k, n)
 
     # -- row-streamed entry points (tiled-im2col convolution) ----------
     def gemm_rows(self, source, n_rows: int, b2d: np.ndarray) -> np.ndarray:
@@ -469,16 +485,19 @@ class ParallelQuantizedGemm(QuantizedGemm):
         """
         producer = _as_producer(source)
         bq = _cast_operand(b2d, self.config)
-        out = np.empty((n_rows, bq.shape[1]), dtype=np.float64)
+        k, n = bq.shape
+        out = np.empty((n_rows, n), dtype=np.float64)
         if out.size == 0:
-            return self._count(out)
-        scheduler, config = self._resolve(1, n_rows, bq.shape[0],
-                                          bq.shape[1])
-        tasks = _row_block_tasks(producer, n_rows)
-        results = scheduler.run(tasks, config, b_shared=bq)
-        for task, value in zip(tasks, results):
-            out[task.r0:task.r1] = value
-        return self._count(out)
+            return self._observe(out, 1, n_rows, k, n)
+        scheduler, config = self._resolve(1, n_rows, k, n)
+        cm = self._span(scheduler, 1, n_rows, k, n) if _trace.active \
+            else _trace.NULL
+        with cm:
+            tasks = _row_block_tasks(producer, n_rows)
+            results = scheduler.run(tasks, config, b_shared=bq)
+            for task, value in zip(tasks, results):
+                out[task.r0:task.r1] = value
+        return self._observe(out, 1, n_rows, k, n)
 
     def gemm_rows_streamed(self, source, n_rows: int, b2d: np.ndarray,
                            consume: Callable[[int, int, np.ndarray],
@@ -498,13 +517,17 @@ class ParallelQuantizedGemm(QuantizedGemm):
             finite = finite and bool(np.all(np.isfinite(value)))
             consume(task.r0, task.r1, value)
 
-        scheduler, config = self._resolve(1, n_rows, bq.shape[0],
-                                          bq.shape[1])
-        tasks = _row_block_tasks(producer, n_rows)
-        scheduler.run_streamed(tasks, config, bq, _consume)
-        self.call_count += 1
-        if not finite:
-            self.overflow_count += 1
+        k, n = bq.shape
+        scheduler, config = self._resolve(1, n_rows, k, n)
+        cm = self._span(scheduler, 1, n_rows, k, n) if _trace.active \
+            else _trace.NULL
+        with cm:
+            tasks = _row_block_tasks(producer, n_rows)
+            scheduler.run_streamed(tasks, config, bq, _consume)
+        # The product is consumed block-by-block, never materialized;
+        # feed the finiteness verdict to the counters via a scalar.
+        self._observe(np.float64(0.0 if finite else np.inf),
+                      1, n_rows, k, n)
         return finite
 
     def gemm_outer_rows(self, a_source, b_source, n_rows: int,
@@ -524,26 +547,38 @@ class ParallelQuantizedGemm(QuantizedGemm):
         a_producer = _as_producer(a_source)
         b_producer = _as_producer(b_source)
         if n_rows == 0:
-            return self._count(np.zeros((m, n), dtype=np.float64))
+            return self._observe(np.zeros((m, n), dtype=np.float64),
+                                 1, m, n_rows, n)
         scheduler, config = self._resolve(1, m, n_rows, n)
-        tasks = []
-        for band, r0 in enumerate(range(0, n_rows, REDUCE_BAND_ROWS)):
-            tasks.append(_OuterBandTask(
-                index=band, key=(0, band), r0=r0,
-                r1=min(n_rows, r0 + REDUCE_BAND_ROWS),
-                a_producer=a_producer, b_producer=b_producer))
-        call_key = _draw_call_key(config.stream)
-        partials = scheduler.run(tasks, config, call_key=call_key)
-        if len(partials) == 1:
-            return self._count(partials[0])
-        stacked = np.stack(partials)
-        if config.acc_format is None:
-            return self._count(stacked.sum(axis=0))
-        combine_cfg = replace(
-            config, stream=config.stream.spawn(call_key + (1, 0)))
-        if not config.per_step:
-            return self._count(round_partial(stacked.sum(axis=0),
-                                             combine_cfg))
-        engine = get_engine(config.accum_order)
-        return self._count(np.asarray(engine.reduce(stacked, combine_cfg),
-                                      dtype=np.float64).reshape(m, n))
+        cm = self._span(scheduler, 1, m, n_rows, n) if _trace.active \
+            else _trace.NULL
+        with cm:
+            tasks = []
+            for band, r0 in enumerate(range(0, n_rows, REDUCE_BAND_ROWS)):
+                tasks.append(_OuterBandTask(
+                    index=band, key=(0, band), r0=r0,
+                    r1=min(n_rows, r0 + REDUCE_BAND_ROWS),
+                    a_producer=a_producer, b_producer=b_producer))
+            call_key = _draw_call_key(config.stream)
+            partials = scheduler.run(tasks, config, call_key=call_key)
+            if len(partials) == 1:
+                result = partials[0]
+            else:
+                stacked = np.stack(partials)
+                if config.acc_format is None:
+                    result = stacked.sum(axis=0)
+                elif not config.per_step:
+                    combine_cfg = replace(
+                        config,
+                        stream=config.stream.spawn(call_key + (1, 0)))
+                    result = round_partial(stacked.sum(axis=0),
+                                           combine_cfg)
+                else:
+                    combine_cfg = replace(
+                        config,
+                        stream=config.stream.spawn(call_key + (1, 0)))
+                    engine = get_engine(config.accum_order)
+                    result = np.asarray(
+                        engine.reduce(stacked, combine_cfg),
+                        dtype=np.float64).reshape(m, n)
+        return self._observe(result, 1, m, n_rows, n)

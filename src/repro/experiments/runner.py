@@ -153,6 +153,11 @@ def main(argv=None) -> int:
                         help="schedule-cache directory (default "
                              "~/.cache/repro-autotune or "
                              "$REPRO_AUTOTUNE_CACHE)")
+    parser.add_argument("--trace", default=None, metavar="TRACE.json",
+                        help="record a span trace of the run and write "
+                             "Chrome trace_event JSON to this path "
+                             "(inspect with chrome://tracing or "
+                             "'python -m repro.obs summarize')")
     args = parser.parse_args(argv)
     get_engine(args.accum_order)  # fail fast on unknown engine names
     try:
@@ -160,9 +165,21 @@ def main(argv=None) -> int:
     except ValueError as exc:
         raise SystemExit(f"--workers: {exc}")
     names = ALL if "all" in args.experiments else args.experiments
-    for name in names:
-        run_experiment(name, args.scale, args.accum_order, workers,
-                       args.autotune, args.schedule_cache)
+
+    def run_all() -> None:
+        for name in names:
+            run_experiment(name, args.scale, args.accum_order, workers,
+                           args.autotune, args.schedule_cache)
+
+    if args.trace:
+        from ..obs import tracing
+
+        with tracing() as recorder:
+            run_all()
+        count = recorder.export_chrome(args.trace)
+        _print(f"[trace: {count} spans -> {args.trace}]")
+    else:
+        run_all()
     return 0
 
 

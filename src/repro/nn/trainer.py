@@ -13,6 +13,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from ..obs import trace as _trace
 from .loss import CrossEntropyLoss
 from .loss_scaler import DynamicLossScaler
 from .lr_scheduler import CosineAnnealingLR
@@ -74,27 +75,32 @@ class Trainer:
 
     def train_batch(self, images: np.ndarray, labels: np.ndarray) -> float:
         """One optimization step; returns the batch loss."""
-        self.model.zero_grad()
-        logits = self.model(images)
-        loss = self.criterion(logits, labels)
-        grad = self.criterion.backward()
-        if self.scaler is not None:
-            grad = self.scaler.scale_loss_grad(grad)
-        self.model.backward(grad)
-        params = self.optimizer.parameters
-        if self.scaler is not None:
-            # Order matters: unscale and step under the scale that was
-            # applied to this batch, and only then let the scaler grow.
-            # Updating first would divide the gradients by an already-
-            # doubled scale on every growth step (effective LR halved).
-            overflow = not self.scaler.grads_finite(params)
-            if not overflow:
-                self.scaler.unscale(params)
-                self.optimizer.step()
-            self.scaler.update(overflow)
-        else:
-            if all(np.all(np.isfinite(p.grad)) for p in params):
-                self.optimizer.step()
+        with _trace.span("train/step", batch=int(images.shape[0])):
+            self.model.zero_grad()
+            with _trace.span("train/forward"):
+                logits = self.model(images)
+                loss = self.criterion(logits, labels)
+            with _trace.span("train/backward"):
+                grad = self.criterion.backward()
+                if self.scaler is not None:
+                    grad = self.scaler.scale_loss_grad(grad)
+                self.model.backward(grad)
+            params = self.optimizer.parameters
+            with _trace.span("train/update"):
+                if self.scaler is not None:
+                    # Order matters: unscale and step under the scale
+                    # that was applied to this batch, and only then let
+                    # the scaler grow.  Updating first would divide the
+                    # gradients by an already-doubled scale on every
+                    # growth step (effective LR halved).
+                    overflow = not self.scaler.grads_finite(params)
+                    if not overflow:
+                        self.scaler.unscale(params)
+                        self.optimizer.step()
+                    self.scaler.update(overflow)
+                else:
+                    if all(np.all(np.isfinite(p.grad)) for p in params):
+                        self.optimizer.step()
         return loss
 
     def evaluate(self, loader) -> float:
@@ -128,18 +134,22 @@ class Trainer:
             losses = []
             correct = 0
             total = 0
-            for images, labels in train_loader_fn():
-                loss = self.train_batch(images, labels)
-                losses.append(loss)
-                # cheap running train accuracy from the last forward pass
-                probs = self.criterion.last_probs
-                correct += int(np.sum(np.argmax(probs, axis=1) == labels))
-                total += labels.shape[0]
+            with _trace.span("train/epoch", epoch=epoch):
+                for images, labels in train_loader_fn():
+                    loss = self.train_batch(images, labels)
+                    losses.append(loss)
+                    # cheap running train accuracy from the last
+                    # forward pass
+                    probs = self.criterion.last_probs
+                    correct += int(np.sum(np.argmax(probs, axis=1)
+                                          == labels))
+                    total += labels.shape[0]
             # Record the rate this epoch actually trained with; the
             # scheduler then advances it for the next epoch.
             lr = self.optimizer.lr
             self.scheduler.step()
-            test_acc = self.evaluate(test_loader_fn())
+            with _trace.span("train/evaluate", epoch=epoch):
+                test_acc = self.evaluate(test_loader_fn())
             stats = EpochStats(
                 epoch=epoch,
                 train_loss=float(np.mean(losses)) if losses else float("nan"),

@@ -1,0 +1,93 @@
+"""CLI for repro.obs: summarize a captured Chrome trace.
+
+Usage::
+
+    python -m repro.obs summarize trace.json
+    python -m repro.obs summarize trace.json --sort calls --top 20
+
+Accepts either the Chrome ``{"traceEvents": [...]}`` document written
+by :meth:`repro.obs.TraceRecorder.export_chrome` or a bare event list,
+and prints one row per span name: calls, total/mean/min/max time and
+the share of the trace's total span time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+from .trace import summarize
+
+
+def _load_events(path: str) -> List[dict]:
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    raw = doc.get("traceEvents", doc) if isinstance(doc, dict) else doc
+    if not isinstance(raw, list):
+        raise SystemExit(f"{path}: not a trace_event document")
+    events = []
+    for e in raw:
+        if not isinstance(e, dict) or "name" not in e:
+            continue
+        # Chrome complete events carry ts/dur; recorder-native events
+        # carry ts_us/dur_us.  Normalize to the native form.
+        dur = e.get("dur_us", e.get("dur"))
+        if dur is None:
+            continue
+        events.append({
+            "name": e["name"],
+            "ts_us": float(e.get("ts_us", e.get("ts", 0.0))),
+            "dur_us": float(dur),
+        })
+    return events
+
+
+def _format_table(rows: List[dict]) -> str:
+    total = sum(r["total_ms"] for r in rows) or 1.0
+    header = (f"{'phase':<28} {'calls':>8} {'total ms':>12} "
+              f"{'mean ms':>10} {'min ms':>10} {'max ms':>10} {'share':>7}")
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r['name']:<28} {r['calls']:>8} {r['total_ms']:>12.3f} "
+            f"{r['mean_ms']:>10.4f} {r['min_ms']:>10.4f} "
+            f"{r['max_ms']:>10.4f} {100.0 * r['total_ms'] / total:>6.1f}%")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability utilities for repro traces.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_sum = sub.add_parser(
+        "summarize", help="print a per-phase time/call table from a "
+        "Chrome trace_event JSON file")
+    p_sum.add_argument("trace", help="path to trace.json")
+    p_sum.add_argument("--sort", choices=("total", "calls", "mean"),
+                       default="total", help="sort column")
+    p_sum.add_argument("--top", type=int, default=0,
+                       help="show only the first N rows (0 = all)")
+    args = parser.parse_args(argv)
+
+    events = _load_events(args.trace)
+    if not events:
+        print(f"{args.trace}: no span events", file=sys.stderr)
+        return 1
+    rows = summarize(events)
+    if args.sort == "calls":
+        rows.sort(key=lambda r: (-r["calls"], r["name"]))
+    elif args.sort == "mean":
+        rows.sort(key=lambda r: (-r["mean_ms"], r["name"]))
+    if args.top > 0:
+        rows = rows[:args.top]
+    print(f"{len(events)} events, {len(rows)} phases "
+          f"({args.trace})")
+    print(_format_table(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

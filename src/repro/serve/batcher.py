@@ -29,6 +29,9 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..obs import trace as _trace
+from ..obs.metrics import MetricsRegistry
+
 _SENTINEL = object()
 
 
@@ -64,7 +67,8 @@ class MicroBatcher:
     """
 
     def __init__(self, session, max_batch_size: int = 8,
-                 max_delay_ms: float = 2.0):
+                 max_delay_ms: float = 2.0,
+                 registry: Optional[MetricsRegistry] = None):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, "
                              f"got {max_batch_size}")
@@ -73,9 +77,12 @@ class MicroBatcher:
         self.max_delay_s = max(0.0, float(max_delay_ms)) / 1000.0
         self._queue: "queue.Queue" = queue.Queue()
         self._thread: Optional[threading.Thread] = None
-        self._stats_lock = threading.Lock()
-        #: guarded-by: _stats_lock
-        self._stats = BatcherStats()
+        self.metrics = registry if registry is not None \
+            else MetricsRegistry()
+        self._batches = self.metrics.counter("batcher_batches_total")
+        self._samples = self.metrics.counter("batcher_samples_total")
+        self._max_batch = self.metrics.gauge("batcher_max_batch",
+                                             agg="max")
         # Serializes submit() against close() so no request can land in
         # the queue behind the shutdown sentinel (it would never be
         # drained and its future.result() would block forever).
@@ -102,9 +109,8 @@ class MicroBatcher:
         self._thread.join(timeout=timeout)
 
     def stats(self) -> BatcherStats:
-        with self._stats_lock:
-            return BatcherStats(self._stats.batches, self._stats.samples,
-                                self._stats.max_batch)
+        return BatcherStats(self._batches.value, self._samples.value,
+                            int(self._max_batch.value))
 
     # ------------------------------------------------------------------
     def submit(self, x: np.ndarray,
@@ -145,28 +151,31 @@ class MicroBatcher:
         return batch, stop
 
     def _run_batch(self, batch: List[_Request]) -> None:
-        try:
-            # key derivation stays inside the try: a poisoned input must
-            # fail its own future, not kill the dispatch thread
-            keys = [request.key if request.key is not None
-                    else self.session.content_key(request.x)[1]
-                    for request in batch]
-            results = self.session.predict_batch(
-                [request.x for request in batch], keys)
-        # reprolint: disable=HYG-EXCEPT  the dispatch thread must survive
-        # any per-batch failure: every error propagates to the waiters'
-        # futures, so nothing is swallowed — a narrower catch would kill
-        # the loop and hang every queued request forever
-        except Exception as error:
-            for request in batch:
-                request.future.set_exception(error)
-            return
+        cm = _trace.span("serve/batch", size=len(batch)) \
+            if _trace.active else _trace.NULL
+        with cm:
+            try:
+                # key derivation stays inside the try: a poisoned input
+                # must fail its own future, not kill the dispatch thread
+                keys = [request.key if request.key is not None
+                        else self.session.content_key(request.x)[1]
+                        for request in batch]
+                results = self.session.predict_batch(
+                    [request.x for request in batch], keys)
+            # reprolint: disable=HYG-EXCEPT  the dispatch thread must
+            # survive any per-batch failure: every error propagates to
+            # the waiters' futures, so nothing is swallowed — a narrower
+            # catch would kill the loop and hang every queued request
+            # forever
+            except Exception as error:
+                for request in batch:
+                    request.future.set_exception(error)
+                return
         for request, result in zip(batch, results):
             request.future.set_result(result)
-        with self._stats_lock:
-            self._stats.batches += 1
-            self._stats.samples += len(batch)
-            self._stats.max_batch = max(self._stats.max_batch, len(batch))
+        self._batches.inc()
+        self._samples.inc(len(batch))
+        self._max_batch.set_max(len(batch))
 
     def _loop(self) -> None:
         while True:

@@ -27,6 +27,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry
+
 
 @dataclass
 class CacheStats:
@@ -49,47 +51,63 @@ class ResponseCache:
     ``max_entries=0`` disables caching (every ``get`` misses, ``put``
     is a no-op) — handy for benchmarking the uncached datapath with the
     same serving code.
+
+    Counters live in a :class:`repro.obs.MetricsRegistry` (a private
+    one unless the owning app passes a shared ``registry``) as
+    ``cache_hits_total`` / ``cache_misses_total`` /
+    ``cache_evictions_total`` and the ``cache_entries`` gauge, so they
+    surface on ``/metrics`` without bespoke plumbing; :meth:`stats`
+    keeps returning the same :class:`CacheStats` as before.
     """
 
-    def __init__(self, max_entries: int = 1024):
+    def __init__(self, max_entries: int = 1024,
+                 registry: Optional[MetricsRegistry] = None):
         if max_entries < 0:
             raise ValueError(f"max_entries must be >= 0, got {max_entries}")
         self.max_entries = int(max_entries)
+        self.metrics = registry if registry is not None \
+            else MetricsRegistry()
+        self._hits = self.metrics.counter("cache_hits_total")
+        self._misses = self.metrics.counter("cache_misses_total")
+        self._evictions = self.metrics.counter("cache_evictions_total")
+        self._size = self.metrics.gauge("cache_entries")
         self._lock = threading.Lock()
         #: guarded-by: _lock
         self._entries: "OrderedDict[str, np.ndarray]" = OrderedDict()
-        #: guarded-by: _lock
-        self._hits = 0
-        #: guarded-by: _lock
-        self._misses = 0
-        #: guarded-by: _lock
-        self._evictions = 0
 
     def get(self, key: str) -> Optional[np.ndarray]:
         """The cached response for ``key``, or ``None`` (counts a miss)."""
         with self._lock:
             value = self._entries.get(key)
-            if value is None:
-                self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return value.copy()
+            if value is not None:
+                self._entries.move_to_end(key)
+                value = value.copy()
+        if value is None:
+            self._misses.inc()
+            return None
+        self._hits.inc()
+        return value
 
     def put(self, key: str, value: np.ndarray) -> None:
         """Insert (or refresh) ``key``; evicts the LRU entry when full."""
         if self.max_entries == 0:
             return
+        evicted = 0
         with self._lock:
             self._entries[key] = np.asarray(value).copy()
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
-                self._evictions += 1
+                evicted += 1
+            size = len(self._entries)
+        if evicted:
+            self._evictions.inc(evicted)
+        self._size.set(size)
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+        self._size.set(0)
 
     def __len__(self) -> int:
         with self._lock:
@@ -97,6 +115,8 @@ class ResponseCache:
 
     def stats(self) -> CacheStats:
         with self._lock:
-            return CacheStats(hits=self._hits, misses=self._misses,
-                              entries=len(self._entries),
-                              evictions=self._evictions)
+            entries = len(self._entries)
+        return CacheStats(hits=self._hits.value,
+                          misses=self._misses.value,
+                          entries=entries,
+                          evictions=self._evictions.value)

@@ -29,10 +29,12 @@ keeping the bit-reproducibility contract intact:
 
 The pool exposes the same application surface as
 :class:`repro.serve.server.ServerApp` (``predict_json`` / ``health`` /
-``stats`` / ``record_error`` / ``close``), so
-:func:`repro.serve.server.make_server` serves it unchanged, plus
-``reload_json`` for the ``/reload`` endpoint and ``predict_on`` for
-per-replica verification (the cross-replica bit-identity suite).
+``stats`` / ``metrics_text`` / ``record_error`` / ``close``), so
+:func:`repro.serve.server.make_server` serves it unchanged — including
+``GET /metrics``, whose pooled exposition merges every replica's
+snapshot with the router's own counters — plus ``reload_json`` for the
+``/reload`` endpoint and ``predict_on`` for per-replica verification
+(the cross-replica bit-identity suite).
 
 Example::
 
@@ -49,14 +51,21 @@ import os
 import signal
 import threading
 import time
-from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Dict, List, Optional
 
 import numpy as np
 
-from .server import LATENCY_WINDOW, ServerApp, _percentile
+from ..obs import trace as _trace
+from ..obs.metrics import (
+    GLOBAL,
+    MetricsRegistry,
+    merge_snapshots,
+    percentile,
+    render_prometheus,
+)
+from .server import LATENCY_WINDOW, ServerApp
 from .session import InferenceSession, request_content_key, validate_payload
 from .shm import SharedCheckpoint
 
@@ -141,6 +150,11 @@ def _worker_main(spec: dict, options: dict, conn) -> None:
             send(("result", message[1], 200, app.stats()))
         elif kind == "health":
             send(("result", message[1], 200, app.health()))
+        elif kind == "metrics":
+            # plain-data snapshot of every registry in *this* process
+            # (including its own GLOBAL — each worker is a separate
+            # process, so there is no double count with the parent's)
+            send(("result", message[1], 200, app.metrics_snapshot()))
         elif kind == "warm":
             session.tune()
             send(("result", message[1], 200, {"warmed": True}))
@@ -356,22 +370,28 @@ class ReplicaPool:
         self._route_lock = threading.Lock()
         self._stats_lock = threading.Lock()
         self._reload_lock = threading.Lock()
-        #: guarded-by: _stats_lock
-        self._requests = 0
-        #: guarded-by: _stats_lock
-        self._errors = 0
-        #: guarded-by: _stats_lock
-        self._router_hits = 0
-        #: guarded-by: _stats_lock
-        self._router_misses = 0
-        #: guarded-by: _stats_lock
-        self._restarts = 0
-        #: guarded-by: _stats_lock
-        self._latencies: deque = deque(maxlen=LATENCY_WINDOW)
+        # Router-side metrics live in the pool's own registry under
+        # ``router_*`` / ``pool_*`` names, *distinct* from the
+        # replica-level ``requests_total`` etc. — the pooled /metrics
+        # merges replica snapshots in, and identical names would double
+        # count every request (observed once at the router, once in the
+        # answering replica).
+        self.registry = MetricsRegistry()
+        self._requests = self.registry.counter("router_requests_total")
+        self._errors = self.registry.counter("router_errors_total")
+        self._router_hits = self.registry.counter(
+            "router_cache_hits_total")
+        self._router_misses = self.registry.counter(
+            "router_cache_misses_total")
+        self._restarts = self.registry.counter("pool_restarts_total")
+        self._latency = self.registry.histogram("router_latency_ms",
+                                                window=LATENCY_WINDOW)
         #: guarded-by: _stats_lock
         self._retired = {"requests": 0, "errors": 0, "hits": 0,
                          "misses": 0, "evictions": 0, "batches": 0,
                          "samples": 0, "gemm_calls": 0}
+        #: guarded-by: _stats_lock
+        self._retired_metrics: dict = {}
 
         self._closing = False
         self._shared = SharedCheckpoint.publish(checkpoint)
@@ -457,18 +477,21 @@ class ReplicaPool:
         arr = validate_payload(self.input_spec, payload["input"])
         cache_key, _ = request_content_key(self.fingerprint, arr)
         start = time.monotonic()
-        status, body = self._dispatch(cache_key, {"input": arr})
+        cm = _trace.span("serve/route") if _trace.active else _trace.NULL
+        with cm as sp:
+            status, body = self._dispatch(cache_key, {"input": arr})
+            if sp is not None:
+                sp.set(key=cache_key[:12], status=status)
         if status != 200:
             raise ReplicaError(
                 f"replica answered {status}: {body.get('error')}")
         latency_ms = 1000.0 * (time.monotonic() - start)
-        with self._stats_lock:
-            self._requests += 1
-            self._latencies.append(latency_ms)
-            if body.get("cached"):
-                self._router_hits += 1
-            else:
-                self._router_misses += 1
+        self._requests.inc()
+        self._latency.observe(latency_ms)
+        if body.get("cached"):
+            self._router_hits.inc()
+        else:
+            self._router_misses.inc()
         body["latency_ms"] = round(latency_ms, 3)
         return body
 
@@ -520,8 +543,7 @@ class ReplicaPool:
         return body
 
     def record_error(self) -> None:
-        with self._stats_lock:
-            self._errors += 1
+        self._errors.inc()
 
     def health(self) -> dict:
         replicas = [replica.describe() for replica in self.replicas()]
@@ -535,8 +557,7 @@ class ReplicaPool:
                 "restarts": self._restarts_snapshot()}
 
     def _restarts_snapshot(self) -> int:
-        with self._stats_lock:
-            return self._restarts
+        return self._restarts.value
 
     def replica_stats(self, timeout: float = 30.0) -> List[Optional[dict]]:
         """Live per-replica ``/stats`` (``None`` for unreachable ones)."""
@@ -562,13 +583,13 @@ class ReplicaPool:
         replica died uncleanly.
         """
         per_replica = self.replica_stats()
+        requests, errors = self._requests.value, self._errors.value
+        router_hits = self._router_hits.value
+        router_misses = self._router_misses.value
+        restarts = self._restarts.value
+        latencies = sorted(self._latency.window_values())
         with self._stats_lock:
-            requests, errors = self._requests, self._errors
-            router_hits = self._router_hits
-            router_misses = self._router_misses
-            restarts = self._restarts
             retired = dict(self._retired)
-            latencies = sorted(self._latencies)
         cache = {"hits": retired["hits"], "misses": retired["misses"],
                  "entries": 0, "evictions": retired["evictions"]}
         batcher = {"batches": retired["batches"],
@@ -600,9 +621,9 @@ class ReplicaPool:
         latency = {"count": len(latencies)}
         if latencies:
             latency.update(
-                p50=round(_percentile(latencies, 0.50), 3),
-                p95=round(_percentile(latencies, 0.95), 3),
-                p99=round(_percentile(latencies, 0.99), 3),
+                p50=round(percentile(latencies, 0.50), 3),
+                p95=round(percentile(latencies, 0.95), 3),
+                p99=round(percentile(latencies, 0.99), 3),
                 mean=round(sum(latencies) / len(latencies), 3))
         return {
             "requests": requests,
@@ -622,6 +643,43 @@ class ReplicaPool:
             "latency_ms": latency,
             "gemm_calls": gemm_calls,
         }
+
+    def replica_metrics(self, timeout: float = 30.0) \
+            -> List[Optional[dict]]:
+        """Live per-replica metrics snapshots (``None`` if unreachable).
+
+        Each entry is the replica's merged
+        :meth:`ServerApp.metrics_snapshot` — plain data shipped over
+        the pipe protocol's ``metrics`` message.
+        """
+        results: List[Optional[dict]] = []
+        for replica in self.replicas():
+            try:
+                status, body = replica.request("metrics").result(
+                    timeout=timeout)
+                results.append(body if status == 200 else None)
+            except (ReplicaError, FutureTimeoutError):
+                results.append(None)
+        return results
+
+    def metrics_snapshot(self) -> dict:
+        """Pool-wide merged snapshot: the parent's registries (router
+        counters + this process's GLOBAL), retired-replica totals
+        folded in at drain time, and every live replica's snapshot.
+        Counter families therefore satisfy
+        ``pooled == parent + retired + sum(replicas)``."""
+        with self._stats_lock:
+            retired = dict(self._retired_metrics)
+        snapshots = [GLOBAL.snapshot(), self.registry.snapshot()]
+        if retired:
+            snapshots.append(retired)
+        snapshots.extend(body for body in self.replica_metrics()
+                         if body is not None)
+        return merge_snapshots(snapshots)
+
+    def metrics_text(self) -> str:
+        """``GET /metrics``: pool-wide Prometheus text exposition."""
+        return render_prometheus(self.metrics_snapshot())
 
     # ------------------------------------------------------------------
     # lifecycle: spawn / monitor / reload / close
@@ -686,8 +744,7 @@ class ReplicaPool:
                     generation = self._generation
                 fresh = self._spawn(replica.index, self._shared,
                                     generation)
-                with self._stats_lock:
-                    self._restarts += 1
+                self._restarts.inc()
                 with self._route_lock:
                     if position < len(self._replicas) and \
                             self._replicas[position] is replica:
@@ -767,6 +824,13 @@ class ReplicaPool:
                                 body["batcher"]["samples"]
                             self._retired["gemm_calls"] += \
                                 body["gemm_calls"]
+                    status, snap = replica.request("metrics").result(
+                        timeout=30.0)
+                    if status == 200:
+                        with self._stats_lock:
+                            self._retired_metrics = merge_snapshots(
+                                [self._retired_metrics, snap]) \
+                                if self._retired_metrics else snap
                 except (ReplicaError, FutureTimeoutError):
                     pass   # crashed while draining: counters are lost
             replica.send_exit()

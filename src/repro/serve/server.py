@@ -10,6 +10,10 @@ Endpoints (all JSON):
 * ``GET /healthz`` — liveness + checkpoint fingerprint.
 * ``GET /stats`` — request counters, cache hit rate, micro-batch fill,
   and p50/p95/p99 latency over a sliding window.
+* ``GET /metrics`` — the same counters (plus per-shape GEMM and
+  autotune counters) in Prometheus text format, rendered from the
+  app's :class:`repro.obs.MetricsRegistry` (see
+  ``docs/observability.md``).
 * ``POST /reload`` — body ``{"checkpoint": "<path>"}``; only served
   when the app behind the handler supports drain-and-swap reloads
   (the replica pool, ``--replicas N`` — see
@@ -29,26 +33,26 @@ dispatch thread runs the coalesced forward passes.
 from __future__ import annotations
 
 import json
-import threading
 import time
-from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 
+from ..obs import trace as _trace
+from ..obs.metrics import (
+    GLOBAL,
+    MetricsRegistry,
+    merge_snapshots,
+    percentile,
+    render_prometheus,
+)
 from .batcher import MicroBatcher
 from .cache import ResponseCache
 from .session import InferenceSession
 
 #: Sliding latency window for the percentile report.
 LATENCY_WINDOW = 4096
-
-
-def _percentile(values: List[float], q: float) -> float:
-    """Nearest-rank percentile of a non-empty sorted list."""
-    rank = max(0, min(len(values) - 1, int(round(q * (len(values) - 1)))))
-    return values[rank]
 
 
 class ServerApp:
@@ -65,16 +69,15 @@ class ServerApp:
                  max_batch_size: int = 8, max_delay_ms: float = 2.0,
                  cache_entries: int = 1024):
         self.session = session
+        self.registry = MetricsRegistry()
         self.batcher = MicroBatcher(session, max_batch_size=max_batch_size,
-                                    max_delay_ms=max_delay_ms).start()
-        self.cache = ResponseCache(cache_entries)
-        self._lock = threading.Lock()
-        #: guarded-by: _lock
-        self._latencies: deque = deque(maxlen=LATENCY_WINDOW)
-        #: guarded-by: _lock
-        self._requests = 0
-        #: guarded-by: _lock
-        self._errors = 0
+                                    max_delay_ms=max_delay_ms,
+                                    registry=self.registry).start()
+        self.cache = ResponseCache(cache_entries, registry=self.registry)
+        self._requests = self.registry.counter("requests_total")
+        self._errors = self.registry.counter("errors_total")
+        self._latency = self.registry.histogram("request_latency_ms",
+                                                window=LATENCY_WINDOW)
         self._started = time.monotonic()
 
     # ------------------------------------------------------------------
@@ -93,17 +96,19 @@ class ServerApp:
         if not isinstance(payload, dict) or "input" not in payload:
             raise ValueError('request body must be {"input": ...}')
         start = time.monotonic()
-        logits, cached, key = self.predict(payload["input"])
+        cm = _trace.span("serve/request") if _trace.active else _trace.NULL
+        with cm as sp:
+            logits, cached, key = self.predict(payload["input"])
+            if sp is not None:
+                sp.set(key=key[:12], cached=cached)
         latency_ms = 1000.0 * (time.monotonic() - start)
-        with self._lock:
-            self._requests += 1
-            self._latencies.append(latency_ms)
+        self._requests.inc()
+        self._latency.observe(latency_ms)
         return {"logits": np.asarray(logits).tolist(), "cached": cached,
                 "key": key, "latency_ms": round(latency_ms, 3)}
 
     def record_error(self) -> None:
-        with self._lock:
-            self._errors += 1
+        self._errors.inc()
 
     # ------------------------------------------------------------------
     def health(self) -> dict:
@@ -115,15 +120,14 @@ class ServerApp:
     def stats(self) -> dict:
         cache = self.cache.stats()
         batcher = self.batcher.stats()
-        with self._lock:
-            latencies = sorted(self._latencies)
-            requests, errors = self._requests, self._errors
+        latencies = sorted(self._latency.window_values())
+        requests, errors = self._requests.value, self._errors.value
         latency = {"count": len(latencies)}
         if latencies:
             latency.update(
-                p50=round(_percentile(latencies, 0.50), 3),
-                p95=round(_percentile(latencies, 0.95), 3),
-                p99=round(_percentile(latencies, 0.99), 3),
+                p50=round(percentile(latencies, 0.50), 3),
+                p95=round(percentile(latencies, 0.95), 3),
+                p99=round(percentile(latencies, 0.99), 3),
                 mean=round(sum(latencies) / len(latencies), 3),
             )
         return {
@@ -142,6 +146,20 @@ class ServerApp:
             "latency_ms": latency,
             "gemm_calls": self.session.gemm_calls,
         }
+
+    def metrics_snapshot(self) -> dict:
+        """Plain-data merged snapshot of every registry this app sees:
+        the process-global one (autotune counters), the app's own
+        (requests/cache/batcher/latency), and the session's (GEMM
+        counters).  Picklable — the replica pool ships it over its pipe
+        protocol and merges across replicas."""
+        return merge_snapshots([GLOBAL.snapshot(),
+                                self.registry.snapshot(),
+                                self.session.metrics.snapshot()])
+
+    def metrics_text(self) -> str:
+        """``GET /metrics``: Prometheus text exposition."""
+        return render_prometheus(self.metrics_snapshot())
 
     def close(self) -> None:
         self.batcher.close()
@@ -176,11 +194,22 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type",
+                         "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def do_GET(self) -> None:
         if self.path == "/healthz":
             self._send_json(200, self.app.health())
         elif self.path == "/stats":
             self._send_json(200, self.app.stats())
+        elif self.path == "/metrics" and hasattr(self.app, "metrics_text"):
+            self._send_text(200, self.app.metrics_text())
         else:
             self._send_json(404, {"error": f"unknown path {self.path}"})
 

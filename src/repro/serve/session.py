@@ -51,6 +51,8 @@ from ..emu.parallel import BLOCK_ROWS, TileScheduler, parallel_matmul_batched
 from ..nn.checkpoint import Checkpoint, load_checkpoint, state_fingerprint
 from ..nn.layers import Conv2d, Linear
 from ..nn.module import Module
+from ..obs import trace as _trace
+from ..obs.metrics import MetricsRegistry
 
 
 def _root_base(array: np.ndarray) -> np.ndarray:
@@ -167,17 +169,30 @@ class _ServeGemm:
 
     def __init__(self, config: GemmConfig, scheduler: TileScheduler,
                  frozen_ids: frozenset, autotune: Optional[str] = None,
-                 schedule_cache: Optional[str] = None):
+                 schedule_cache: Optional[str] = None,
+                 registry: Optional[MetricsRegistry] = None):
         self.config = config
         self.scheduler = scheduler
         self.frozen_ids = frozen_ids
         self.autotune = autotune if autotune not in (None, "off") else None
         self.schedule_cache = schedule_cache
-        self.call_count = 0
-        self.overflow_count = 0
+        self.metrics = registry if registry is not None \
+            else MetricsRegistry()
+        self._calls = self.metrics.counter("gemm_calls_total",
+                                           engine=config.accum_order)
+        self._overflows = self.metrics.counter(
+            "gemm_overflows_total", engine=config.accum_order)
         self._streams: List = []
         self._call_index = 0
         self._schedule_memo: dict = {}
+
+    @property
+    def call_count(self) -> int:
+        return self._calls.value
+
+    @property
+    def overflow_count(self) -> int:
+        return self._overflows.value
 
     def _resolve(self, batch: int, m: int, k: int, n: int):
         """(scheduler, accum_order) for one per-sample GEMM shape class.
@@ -250,21 +265,26 @@ class _ServeGemm:
             out = np.empty((a.shape[0], b.shape[1]))
             scheduler, accum_order = self._resolve(
                 1, groups, a.shape[1], b.shape[1])
-        for i, stream in enumerate(self._streams):
-            cfg = replace(self.config, stream=stream.spawn((g,)),
-                          accum_order=accum_order)
-            rows = slice(i * groups, (i + 1) * groups)
-            if batched:
-                out[rows] = parallel_matmul_batched(
-                    aq[rows], bq[rows], cfg,
-                    scheduler=scheduler, cast=False)
-            else:
-                out[rows] = parallel_matmul_batched(
-                    aq[rows][None], bq[None], cfg,
-                    scheduler=scheduler, cast=False)[0]
-        self.call_count += 1
+        cm = _trace.span("serve/gemm", g=g, samples=n,
+                         shape="x".join(str(d) for d in a.shape),
+                         engine=accum_order) \
+            if _trace.active else _trace.NULL
+        with cm:
+            for i, stream in enumerate(self._streams):
+                cfg = replace(self.config, stream=stream.spawn((g,)),
+                              accum_order=accum_order)
+                rows = slice(i * groups, (i + 1) * groups)
+                if batched:
+                    out[rows] = parallel_matmul_batched(
+                        aq[rows], bq[rows], cfg,
+                        scheduler=scheduler, cast=False)
+                else:
+                    out[rows] = parallel_matmul_batched(
+                        aq[rows][None], bq[None], cfg,
+                        scheduler=scheduler, cast=False)[0]
+        self._calls.inc()
         if not np.all(np.isfinite(out)):
-            self.overflow_count += 1
+            self._overflows.inc()
         return out
 
 
@@ -321,7 +341,8 @@ class InferenceSession:
                  input_spec: Optional[dict] = None,
                  autotune: str = "off",
                  schedule_cache: Optional[str] = None,
-                 weights_frozen: bool = False):
+                 weights_frozen: bool = False,
+                 registry: Optional[MetricsRegistry] = None):
         self.config = config if config is not None else GemmConfig()
         self.model = model
         self.input_spec = input_spec
@@ -330,6 +351,8 @@ class InferenceSession:
             fingerprint = state_fingerprint(model.state_dict(),
                                             self._config_spec())
         self.fingerprint = fingerprint
+        self.metrics = registry if registry is not None \
+            else MetricsRegistry()
         self._lock = threading.Lock()
         scheduler = TileScheduler(workers=self.workers, tile_rows=tile_rows,
                                   backend=backend)
@@ -337,7 +360,8 @@ class InferenceSession:
             else freeze_gemm_weights(model, self.config)
         self._gemm = _ServeGemm(self.config, scheduler, frozen,
                                 autotune=autotune,
-                                schedule_cache=schedule_cache)
+                                schedule_cache=schedule_cache,
+                                registry=self.metrics)
         for module in model.modules():
             if hasattr(module, "gemm"):
                 module.gemm = self._gemm
@@ -395,7 +419,9 @@ class InferenceSession:
         batch = np.stack(arrays)
         if not np.issubdtype(batch.dtype, np.integer):
             batch = np.asarray(batch, np.float64)
-        with self._lock:
+        cm = _trace.span("serve/session", samples=len(arrays)) \
+            if _trace.active else _trace.NULL
+        with cm, self._lock:
             self._gemm.begin([self.config.stream.spawn(key)
                               for key in keys])
             try:

@@ -535,15 +535,15 @@ class TestSeededMutations:
         assert [f.rule for f in findings] == ["SUB-DRAW"]
 
     def test_unlocked_guarded_write_caught(self):
-        # a "fast path" bumping the hit counter without the lock
+        # a "fast path" refreshing the LRU order without the lock
         anchor = "    def clear(self) -> None:\n"
 
         def mutate(src):
             assert anchor in src
             return src.replace(
                 anchor,
-                "    def touch(self) -> None:\n"
-                "        self._hits += 1\n\n" + anchor,
+                "    def touch(self, key) -> None:\n"
+                "        self._entries.move_to_end(key)\n\n" + anchor,
                 1)
 
         findings = lint_real("src/repro/serve/cache.py", mutate).findings

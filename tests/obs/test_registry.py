@@ -1,0 +1,202 @@
+"""Metrics registry: families, snapshots, merge, Prometheus text."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    merge_snapshots,
+    percentile,
+    render_prometheus,
+)
+
+
+def _legacy_percentile(values, q):
+    """The original ``repro.serve.server._percentile``, verbatim."""
+    rank = max(0, min(len(values) - 1, int(round(q * (len(values) - 1)))))
+    return values[rank]
+
+
+class TestPercentile:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 100, 4096])
+    @pytest.mark.parametrize("q", [0.0, 0.5, 0.95, 0.99, 1.0])
+    def test_matches_legacy_serve_percentile(self, n, q):
+        values = sorted((i * 37 % n) / 7.0 for i in range(n))
+        assert percentile(values, q) == _legacy_percentile(values, q)
+
+    def test_nearest_rank_examples(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 3.0
+        assert percentile([5.0], 0.99) == 5.0
+
+
+class TestFamilies:
+    def test_counter_identity_and_inc(self):
+        registry = MetricsRegistry()
+        c = registry.counter("requests_total")
+        c.inc()
+        c.inc(3)
+        assert registry.counter("requests_total") is c
+        assert c.value == 4
+
+    def test_labels_create_distinct_metrics(self):
+        registry = MetricsRegistry()
+        a = registry.counter("gemm_calls_total", engine="sequential")
+        b = registry.counter("gemm_calls_total", engine="pairwise")
+        assert a is not b
+        a.inc()
+        assert b.value == 0
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", one="1", two="2")
+        b = registry.counter("x_total", two="2", one="1")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("thing")
+
+    def test_gauge_agg_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth", agg="max")
+        with pytest.raises(ValueError, match="agg"):
+            registry.gauge("depth", agg="sum")
+
+    def test_gauge_set_max(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("peak", agg="max")
+        g.set_max(3)
+        g.set_max(1)
+        assert g.value == 3
+
+    def test_histogram_window_and_totals(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("latency_ms", window=4)
+        for v in [5.0, 1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        assert h.count == 5
+        assert h.total == 15.0
+        assert h.window_values() == [1.0, 2.0, 3.0, 4.0]  # 5.0 slid out
+        assert h.quantile(0.5) == 3.0
+
+    def test_counter_thread_safety(self):
+        registry = MetricsRegistry()
+        c = registry.counter("contended_total")
+
+        def worker():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestSnapshotMerge:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total").inc(2)
+        registry.counter("gemm_calls_total", engine="sequential").inc(7)
+        registry.gauge("cache_entries").set(3)
+        registry.gauge("batch_max", agg="max").set_max(5)
+        registry.histogram("latency_ms", window=8).observe(1.5)
+        return registry
+
+    def test_snapshot_is_plain_json_data(self):
+        snap = self._registry().snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["counters"]["requests_total"] == 2
+        assert snap["counters"]['gemm_calls_total{engine="sequential"}'] == 7
+        assert snap["gauges"]["cache_entries"]["value"] == 3
+        assert snap["histograms"]["latency_ms"]["window"] == [1.5]
+
+    def test_reset_zeroes_but_keeps_families(self):
+        registry = self._registry()
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap["counters"]["requests_total"] == 0
+        assert snap["histograms"]["latency_ms"]["count"] == 0
+
+    def test_merge_counters_add(self):
+        a, b = self._registry().snapshot(), self._registry().snapshot()
+        merged = merge_snapshots([a, b])
+        assert merged["counters"]["requests_total"] == 4
+
+    def test_merge_gauges_by_agg(self):
+        a, b = self._registry().snapshot(), self._registry().snapshot()
+        b["gauges"]["batch_max"]["value"] = 9
+        merged = merge_snapshots([a, b])
+        assert merged["gauges"]["cache_entries"]["value"] == 6   # sum
+        assert merged["gauges"]["batch_max"]["value"] == 9       # max
+
+    def test_merge_histograms_concat_bounded(self):
+        a, b = self._registry().snapshot(), self._registry().snapshot()
+        a["histograms"]["latency_ms"]["window"] = [float(i)
+                                                   for i in range(8)]
+        b["histograms"]["latency_ms"]["window"] = [float(i)
+                                                   for i in range(8, 16)]
+        merged = merge_snapshots([a, b])
+        entry = merged["histograms"]["latency_ms"]
+        assert entry["count"] == 2
+        assert len(entry["window"]) == 8   # bounded by window_size
+        assert entry["window"] == [float(i) for i in range(8, 16)]
+
+    def test_merge_is_associative_on_counters(self):
+        snaps = [self._registry().snapshot() for _ in range(3)]
+        left = merge_snapshots([merge_snapshots(snaps[:2]), snaps[2]])
+        right = merge_snapshots([snaps[0], merge_snapshots(snaps[1:])])
+        assert left["counters"] == right["counters"]
+
+    def test_merge_skips_empty(self):
+        snap = self._registry().snapshot()
+        merged = merge_snapshots([{}, snap])
+        assert merged["counters"] == snap["counters"]
+
+
+class TestPrometheusText:
+    def test_render_families_and_samples(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total").inc(2)
+        registry.counter("gemm_calls_total", engine="sequential").inc(7)
+        registry.gauge("cache_entries").set(3)
+        h = registry.histogram("latency_ms", window=8)
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE requests_total counter" in text
+        assert "requests_total 2" in text
+        assert 'gemm_calls_total{engine="sequential"} 7' in text
+        assert "# TYPE cache_entries gauge" in text
+        assert "cache_entries 3" in text
+        assert "# TYPE latency_ms summary" in text
+        assert 'latency_ms{quantile="0.5"} 3' in text
+        assert "latency_ms_sum 10" in text
+        assert "latency_ms_count 4" in text
+        assert text.endswith("\n")
+
+    def test_render_is_deterministic(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total").inc()
+        registry.counter("a_total").inc()
+        snap = registry.snapshot()
+        assert render_prometheus(snap) == render_prometheus(snap)
+        lines = render_prometheus(snap).splitlines()
+        assert lines.index("# TYPE a_total counter") < \
+            lines.index("# TYPE b_total counter")
+
+    def test_render_empty_snapshot(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) == ""
+
+    def test_quantile_labels_merge_into_existing(self):
+        registry = MetricsRegistry()
+        registry.histogram("span_ms", window=4, phase="gemm").observe(2.5)
+        text = render_prometheus(registry.snapshot())
+        assert 'span_ms{phase="gemm",quantile="0.5"} 2.5' in text
+        assert 'span_ms_sum{phase="gemm"} 2.5' in text

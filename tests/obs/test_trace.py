@@ -1,0 +1,161 @@
+"""Span tracer: no-op default, ring buffers, Chrome export, CLI."""
+
+import json
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.obs import TraceRecorder, current, install, span, tracing, uninstall
+from repro.obs import trace as trace_mod
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+class TestDisabledPath:
+    def test_off_by_default(self):
+        assert trace_mod.active is False
+        assert current() is None
+
+    def test_span_returns_null_singleton_when_off(self):
+        assert span("anything", key=1) is trace_mod.NULL
+
+    def test_null_span_enters_as_none(self):
+        with span("anything") as sp:
+            assert sp is None
+
+    def test_install_uninstall_flip_active(self):
+        recorder = TraceRecorder()
+        install(recorder)
+        try:
+            assert trace_mod.active is True
+            assert current() is recorder
+        finally:
+            uninstall()
+        assert trace_mod.active is False
+        assert current() is None
+
+
+class TestRecording:
+    def test_spans_record_name_args_and_duration(self):
+        with tracing() as rec:
+            with span("phase/outer", shape="2x3"):
+                with span("phase/inner") as sp:
+                    sp.set(tiles=4)
+                    time.sleep(0.002)
+        events = rec.events()
+        # sorted by start time: the outer span opened first
+        assert [e["name"] for e in events] == ["phase/outer", "phase/inner"]
+        by_name = {e["name"]: e for e in events}
+        assert by_name["phase/outer"]["args"] == {"shape": "2x3"}
+        assert by_name["phase/inner"]["args"] == {"tiles": 4}
+        assert by_name["phase/inner"]["dur_us"] >= 1000.0
+        # inner is contained in outer
+        assert by_name["phase/outer"]["ts_us"] <= \
+            by_name["phase/inner"]["ts_us"]
+        assert by_name["phase/outer"]["dur_us"] >= \
+            by_name["phase/inner"]["dur_us"]
+
+    def test_events_sorted_by_start(self):
+        with tracing() as rec:
+            for i in range(5):
+                with span(f"s{i}"):
+                    pass
+        starts = [e["ts_us"] for e in rec.events()]
+        assert starts == sorted(starts)
+
+    def test_capacity_bounds_each_thread(self):
+        with tracing(capacity=16) as rec:
+            for i in range(40):
+                with span("tick", i=i):
+                    pass
+        events = rec.events()
+        assert len(events) == 16
+        # the *newest* spans survive
+        assert [e["args"]["i"] for e in events] == list(range(24, 40))
+
+    def test_per_thread_buffers(self):
+        def work():
+            with span("worker"):
+                pass
+
+        with tracing() as rec:
+            with span("main"):
+                pass
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+        tids = {e["name"]: e["tid"] for e in rec.events()}
+        assert tids["main"] != tids["worker"]
+
+    def test_clear(self):
+        with tracing() as rec:
+            with span("x"):
+                pass
+            rec.clear()
+        assert rec.events() == []
+
+
+class TestChromeExport:
+    def test_export_chrome_document(self, tmp_path):
+        out = tmp_path / "trace.json"
+        with tracing() as rec:
+            with span("emu/gemm", shape="1x8x8x8"):
+                pass
+        count = rec.export_chrome(str(out))
+        assert count == 1
+        doc = json.loads(out.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        (event,) = doc["traceEvents"]
+        assert event["ph"] == "X"
+        assert event["name"] == "emu/gemm"
+        assert event["args"] == {"shape": "1x8x8x8"}
+        assert event["dur"] >= 0.0
+
+    def test_summarize_rows(self):
+        with tracing() as rec:
+            for _ in range(3):
+                with span("a"):
+                    pass
+            with span("b"):
+                time.sleep(0.002)
+        rows = trace_mod.summarize(rec.events())
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["a"]["calls"] == 3
+        assert by_name["b"]["calls"] == 1
+        assert rows[0]["name"] == "b"   # sorted by total desc
+        assert by_name["b"]["total_ms"] >= 1.0
+
+
+class TestCli:
+    def _export(self, tmp_path):
+        out = tmp_path / "trace.json"
+        with tracing() as rec:
+            for _ in range(2):
+                with span("emu/gemm", engine="sequential"):
+                    pass
+            with span("serve/request"):
+                pass
+        rec.export_chrome(str(out))
+        return out
+
+    def test_summarize_cli_prints_table(self, tmp_path):
+        out = self._export(tmp_path)
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.obs", "summarize", str(out)],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"})
+        assert result.returncode == 0, result.stderr
+        assert "emu/gemm" in result.stdout
+        assert "serve/request" in result.stdout
+        assert "calls" in result.stdout
+
+    def test_summarize_cli_empty_trace_fails(self, tmp_path):
+        empty = tmp_path / "empty.json"
+        empty.write_text('{"traceEvents": []}')
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.obs", "summarize", str(empty)],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"})
+        assert result.returncode == 1

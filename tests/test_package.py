@@ -8,7 +8,7 @@ import pytest
 SUBPACKAGES = [
     "repro.fp", "repro.prng", "repro.rtl", "repro.synth", "repro.emu",
     "repro.nn", "repro.models", "repro.data", "repro.experiments",
-    "repro.analysis", "repro.serve",
+    "repro.analysis", "repro.serve", "repro.obs",
 ]
 
 
