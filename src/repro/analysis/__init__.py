@@ -8,7 +8,11 @@ Two halves share this package:
   that enforces the determinism, substream-keying and lock-discipline
   contracts over the whole tree (``python -m repro.analysis``; rule
   catalog in ``docs/static-analysis.md``, contract map in DESIGN.md
-  section 11).
+  section 11);
+* :mod:`repro.analysis.reproflow` — the whole-program dataflow pass
+  layered on reprolint: interprocedural stream-escape tracking,
+  spawn-key purity, and the static lock-order graph
+  (``python -m repro.analysis --flow``; DESIGN.md section 14).
 """
 
 from .errors import (
@@ -31,6 +35,12 @@ from .reprolint import (
     lint_source,
     run_paths,
 )
+from .reproflow import (
+    FLOW_RULES,
+    FlowReport,
+    analyze_files,
+    analyze_paths,
+)
 
 __all__ = [
     "Baseline",
@@ -41,6 +51,10 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "run_paths",
+    "FLOW_RULES",
+    "FlowReport",
+    "analyze_files",
+    "analyze_paths",
     "ErrorSample",
     "stagnation_threshold",
     "stagnation_curve",

@@ -1,0 +1,48 @@
+"""reproflow — whole-program dataflow analysis over the repo's contracts.
+
+reprolint (PR 7) checks one file at a time; the contracts it guards
+are program-wide.  reproflow parses the whole tree once into a module/
+symbol table plus an interprocedural call graph, then runs a
+flow-insensitive alias pass specialized — in the variable-precision
+spirit of AutoAlias — to the two value domains the reproduction
+actually cares about:
+
+* **stream identities** (``FLOW-STREAM``): a live ``RandomBitStream``
+  escaping the draw owners through any number of call hops without
+  passing through ``spawn(key)``;
+* **spawn keys** (``FLOW-KEY``): keys whose dataflow reaches a
+  nondeterministic source (``time.*``, ``id()``, ``os.getpid``,
+  ``hash()``, set iteration);
+* **lock order** (``LOCK-ORDER``): the static lock-acquisition graph —
+  cycles (potential deadlock), inversions of the pinned canonical
+  order (``#: lock-order:``), and guarded reads outside the lock.
+
+Findings flow through reprolint's reporters, baseline and suppression
+comments unchanged; run the pass with ``python -m repro.analysis
+--flow`` (rule catalog in ``docs/static-analysis.md``, contract map in
+DESIGN.md section 14).  The call graph and lock graph export as
+deterministic JSON artifacts (``--callgraph`` / ``--lockgraph``).
+"""
+
+from .callgraph import CallGraph, build_callgraph
+from .engine import FLOW_RULES, FlowReport, analyze_files, analyze_paths
+from .lockorder import LockGraph, check_lock_order
+from .program import Program, build_program, module_name
+from .keys import check_key_purity
+from .streams import check_stream_escapes
+
+__all__ = [
+    "CallGraph",
+    "FLOW_RULES",
+    "FlowReport",
+    "LockGraph",
+    "Program",
+    "analyze_files",
+    "analyze_paths",
+    "build_callgraph",
+    "build_program",
+    "check_key_purity",
+    "check_lock_order",
+    "check_stream_escapes",
+    "module_name",
+]

@@ -1,0 +1,268 @@
+"""Static call graph over a :class:`~.program.Program`.
+
+Resolution is deliberately conservative — an edge is only recorded when
+the callee is unambiguous, because both consumers err on that side:
+taint propagation treats *unresolved* calls as escape hatches (worst
+case for FLOW-STREAM) and the lock graph only follows *resolved* edges
+(a false edge could fabricate a deadlock cycle).  The rules, in order:
+
+1. ``name(...)`` — nested def in an enclosing scope, then a same-module
+   function or class (class -> its ``__init__``), then an import alias
+   resolved through the program's symbol table.
+2. ``self.m(...)`` — method lookup through the in-program MRO.
+3. ``mod.f(...)`` / ``alias.Cls(...)`` — dotted chains rooted in an
+   imported name.
+4. ``self.attr.m(...)`` / ``var.m(...)`` — the receiver's class when a
+   constructor assignment pinned it (``self.batcher = MicroBatcher(...)``
+   or ``replica = _Replica(...)``).
+5. Unique-method fallback — ``x.m(...)`` resolves iff exactly one
+   program class defines ``m`` *and* ``m`` is not a method of the
+   builtin container/str types or the common stdlib concurrency
+   objects (``get``, ``put``, ``submit``, ... would otherwise glue
+   every ``dict.get`` to whichever class happens to define one).
+
+Method-call edges conflate instances (standard for a flow-insensitive
+pass): ``replica.request(...)`` and ``self.request(...)`` reach the
+same node.  ``export()`` renders the graph as the deterministic JSON
+artifact CI uploads.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from .program import ClassInfo, FunctionInfo, Program, scoped_nodes
+
+#: Method names the unique-method fallback refuses to resolve: builtin
+#: container/string methods plus the stdlib concurrency vocabulary.
+_COMMON_METHODS: Set[str] = set()
+for _type in (dict, list, set, tuple, str, bytes, frozenset, int, float):
+    _COMMON_METHODS.update(name for name in dir(_type)
+                           if not name.startswith("__"))
+_COMMON_METHODS.update({
+    "acquire", "release", "wait", "notify", "notify_all", "set", "is_set",
+    "start", "run", "join", "is_alive", "terminate", "kill", "close",
+    "put", "get", "put_nowait", "get_nowait", "task_done", "qsize",
+    "empty", "full", "send", "recv", "poll", "fileno", "cancel",
+    "result", "done", "submit", "shutdown", "exception", "open",
+    "read", "write", "readline", "flush", "seek", "tell",
+    "item", "tolist", "tobytes", "astype", "reshape", "ravel", "fill",
+    "view", "mean", "std", "var", "argmax", "argmin", "cumsum", "dot",
+    "transpose", "squeeze", "flatten", "clip", "repeat", "take",
+})
+
+
+@dataclass
+class CallSite:
+    """One resolved-or-not call expression inside a function."""
+
+    call: ast.Call
+    callee: Optional[str]          # fid, when resolved
+    #: 'function' binds all positionals; 'method'/'init' skip the
+    #: implicit self when mapping caller args to callee params.
+    kind: str = "unknown"
+
+
+class CallGraph:
+    """Call sites per function plus the induced fid -> fid edge set."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.sites: Dict[str, List[CallSite]] = {}
+        self.edges: Dict[str, Set[str]] = {}
+        self.callers: Dict[str, Set[str]] = {}
+        #: call AST node -> CallSite, for taint evaluation.
+        self.by_node: Dict[ast.Call, CallSite] = {}
+        self.total_calls = 0
+        self.resolved_calls = 0
+
+    # -- queries --------------------------------------------------------
+    def callees(self, fid: str) -> Set[str]:
+        return self.edges.get(fid, set())
+
+    def site(self, call: ast.Call) -> Optional[CallSite]:
+        return self.by_node.get(call)
+
+    # -- artifact -------------------------------------------------------
+    def export(self) -> Dict[str, object]:
+        edges = sorted({(caller, callee)
+                        for caller, callees in self.edges.items()
+                        for callee in callees})
+        return {
+            "tool": "reproflow",
+            "artifact": "callgraph",
+            "format_version": 1,
+            "modules": len(self.program.modules),
+            "functions": len(self.program.functions),
+            "calls": self.total_calls,
+            "resolved": self.resolved_calls,
+            "edges": [list(edge) for edge in edges],
+        }
+
+
+def _constructed_class(program: Program, module, call: ast.Call,
+                       func: FunctionInfo) -> Optional[str]:
+    """cid when ``call`` constructs an in-program class, else None."""
+    target = call.func
+    if isinstance(target, ast.Name):
+        local = f"{func.modname}.{target.id}"
+        if local in program.classes:
+            return local
+        origin = module.aliases.get(target.id)
+    else:
+        origin = module.ctx.resolve(target)
+    if origin is None:
+        return None
+    resolved = program.resolve_symbol(origin)
+    if resolved and resolved[0] == "class":
+        return resolved[1]
+    return None
+
+
+def _collect_types(program: Program, graph: CallGraph) -> Dict[
+        Tuple[str, str], str]:
+    """Pin receiver types from constructor assignments.
+
+    Returns local-variable types per function ((fid, var) -> cid) and
+    fills ``ClassInfo.attr_types`` for ``self.<attr> = Cls(...)``.
+    A name assigned two different classes is demoted to untyped.
+    """
+    var_types: Dict[Tuple[str, str], str] = {}
+    conflicted: Set[Tuple[str, str]] = set()
+    for fid, func in program.functions.items():
+        module = program.module_of(func)
+        cls = program.class_of(func)
+        for node in func.body_nodes():
+            if not isinstance(node, ast.Assign) or \
+                    not isinstance(node.value, ast.Call):
+                continue
+            cid = _constructed_class(program, module, node.value, func)
+            if cid is None:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    key = (fid, target.id)
+                    if key in var_types and var_types[key] != cid:
+                        conflicted.add(key)
+                    var_types[key] = cid
+                elif cls is not None and isinstance(target, ast.Attribute) \
+                        and isinstance(target.value, ast.Name) \
+                        and target.value.id == func.self_name:
+                    existing = cls.attr_types.get(target.attr)
+                    if existing is not None and existing != cid:
+                        cls.attr_types[target.attr] = ""
+                    else:
+                        cls.attr_types[target.attr] = cid
+    for key in conflicted:
+        del var_types[key]
+    return var_types
+
+
+def _resolve_name_call(program: Program, func: FunctionInfo,
+                       name: str) -> Optional[Tuple[str, str]]:
+    # nested defs, innermost enclosing scope first
+    parts = func.qualname.split(".") if func.qualname else []
+    for cut in range(len(parts), -1, -1):
+        prefix = ".".join(parts[:cut])
+        fid = f"{func.modname}.{prefix}.{name}" if prefix \
+            else f"{func.modname}.{name}"
+        candidate = program.functions.get(fid)
+        if candidate is not None and not candidate.direct_method:
+            # (a sibling *method* is not reachable by bare name:
+            # class bodies are not part of the lexical lookup chain)
+            return (fid, "function")
+    local_cls = program.classes.get(f"{func.modname}.{name}")
+    if local_cls is not None:
+        init = local_cls.methods.get("__init__")
+        return (init, "init") if init else None
+    module = program.module_of(func)
+    origin = module.aliases.get(name)
+    if origin is None:
+        return None
+    resolved = program.resolve_symbol(origin)
+    if resolved is None:
+        return None
+    if resolved[0] == "function":
+        return (resolved[1], "function")
+    if resolved[0] == "class":
+        init = program.classes[resolved[1]].methods.get("__init__")
+        return (init, "init") if init else None
+    return None
+
+
+def _resolve_attr_call(program: Program, func: FunctionInfo,
+                       call: ast.Call,
+                       var_types: Dict[Tuple[str, str], str]
+                       ) -> Optional[Tuple[str, str]]:
+    target = call.func
+    if not isinstance(target, ast.Attribute):
+        return None
+    method = target.attr
+    receiver = target.value
+    module = program.module_of(func)
+    # self.m(...) through the in-program MRO
+    if isinstance(receiver, ast.Name) and receiver.id == func.self_name:
+        cls = program.class_of(func)
+        if cls is not None:
+            fid = program.mro_method(cls, method)
+            if fid is not None:
+                return (fid, "method")
+    # mod.f(...) / alias.Cls(...) dotted chains
+    origin = module.ctx.resolve(target)
+    if origin is not None:
+        resolved = program.resolve_symbol(origin)
+        if resolved is not None:
+            if resolved[0] == "function":
+                return (resolved[1], "function")
+            if resolved[0] == "class":
+                init = program.classes[resolved[1]].methods.get("__init__")
+                return (init, "init") if init else None
+    # receivers whose class a constructor assignment pinned
+    cid: Optional[str] = None
+    if isinstance(receiver, ast.Name):
+        cid = var_types.get((func.fid, receiver.id))
+    elif isinstance(receiver, ast.Attribute) and \
+            isinstance(receiver.value, ast.Name) and \
+            receiver.value.id == func.self_name:
+        cls = program.class_of(func)
+        if cls is not None:
+            cid = cls.attr_types.get(receiver.attr) or None
+    if cid:
+        fid = program.mro_method(program.classes[cid], method)
+        if fid is not None:
+            return (fid, "method")
+    # unique-method fallback for distinctive names
+    if method not in _COMMON_METHODS:
+        owners = program.method_index.get(method, [])
+        if len(owners) == 1:
+            return (program.classes[owners[0]].methods[method], "method")
+    return None
+
+
+def build_callgraph(program: Program) -> CallGraph:
+    graph = CallGraph(program)
+    var_types = _collect_types(program, graph)
+    for fid, func in program.functions.items():
+        sites: List[CallSite] = []
+        for node in func.body_nodes():
+            if not isinstance(node, ast.Call):
+                continue
+            graph.total_calls += 1
+            resolved = None
+            if isinstance(node.func, ast.Name):
+                resolved = _resolve_name_call(program, func, node.func.id)
+            elif isinstance(node.func, ast.Attribute):
+                resolved = _resolve_attr_call(program, func, node,
+                                              var_types)
+            site = CallSite(node, resolved[0] if resolved else None,
+                            resolved[1] if resolved else "unknown")
+            sites.append(site)
+            graph.by_node[node] = site
+            if site.callee is not None:
+                graph.resolved_calls += 1
+                graph.edges.setdefault(fid, set()).add(site.callee)
+                graph.callers.setdefault(site.callee, set()).add(fid)
+        graph.sites[fid] = sites
+    return graph

@@ -1,0 +1,137 @@
+"""The reproflow driver: parse once, run every flow rule, report.
+
+:func:`analyze_paths` mirrors reprolint's runner (same root detection,
+same file discovery, same repo-relative posix paths) but parses the
+tree into one :class:`~.program.Program` and runs the three
+whole-program rules over it.  Findings are reprolint
+:class:`~..reprolint.core.Finding` objects, so the reporters, the
+baseline and the per-line suppression machinery all apply unchanged —
+``# reprolint: disable=FLOW-STREAM`` on the finding's anchor line
+works exactly like it does for the per-file rules.
+
+``overlays`` maps repo-relative paths to replacement sources; the
+seeded-mutation tests use it to analyze the real tree with one
+poisoned file without writing to disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..reprolint.core import Finding, Rule
+from ..reprolint.policy import Policy
+from ..reprolint.runner import detect_root, discover_files, rel_posix
+from .callgraph import CallGraph, build_callgraph
+from .keys import check_key_purity
+from .lockorder import check_lock_order
+from .program import Program, build_program
+from .streams import check_stream_escapes
+
+
+class FlowRule(Rule):
+    """Catalog entry for ``--list-rules`` (whole-program rules do not
+    register with the per-file registry: ``lint_source`` cannot run
+    them, the flow engine does)."""
+
+    def check(self, ctx):  # pragma: no cover - catalog entry only
+        raise NotImplementedError(
+            f"{self.id} is a whole-program rule; run it via "
+            f"repro.analysis.reproflow.analyze_paths / --flow")
+
+
+class StreamEscapeRule(FlowRule):
+    id = "FLOW-STREAM"
+    title = ("live stream reference escapes the draw owners without "
+             "passing through spawn(key)")
+    contract = ("DESIGN.md section 14: stream identities stay inside "
+                "the draw owners; everything else holds keyed "
+                "substreams only")
+
+
+class KeyPurityRule(FlowRule):
+    id = "FLOW-KEY"
+    title = ("spawn key derives from a nondeterministic source "
+             "(time.*, id(), os.getpid, hash(), set iteration)")
+    contract = ("DESIGN.md section 14: substream keys are pure — "
+                "content hashes, indices, or literals")
+
+
+class LockOrderRule(FlowRule):
+    id = "LOCK-ORDER"
+    title = ("lock-acquisition cycle, canonical-order inversion, or "
+             "guarded read outside the lock")
+    contract = ("DESIGN.md section 14: one global lock order; guarded "
+                "state is read consistently under its lock")
+
+
+#: The whole-program rule catalog, ordered by id.
+FLOW_RULES: Tuple[FlowRule, ...] = (
+    KeyPurityRule(), StreamEscapeRule(), LockOrderRule())
+
+
+@dataclass
+class FlowReport:
+    """Everything one reproflow run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    callgraph: Dict[str, object] = field(default_factory=dict)
+    lockgraph: Dict[str, object] = field(default_factory=dict)
+    files: int = 0
+
+
+def analyze_files(files: Iterable[Tuple[str, str]],
+                  policy: Optional[Policy] = None) -> FlowReport:
+    """Run the flow rules over ``(relpath, source)`` pairs."""
+    program = build_program(files, policy)
+    graph = build_callgraph(program)
+    findings: List[Finding] = []
+    findings.extend(check_stream_escapes(program, graph))
+    findings.extend(check_key_purity(program, graph))
+    lock_findings, lockgraph = check_lock_order(program, graph)
+    findings.extend(lock_findings)
+
+    by_path = {module.relpath: module
+               for module in program.modules.values()}
+    report = FlowReport(callgraph=graph.export(),
+                        lockgraph=lockgraph.export(),
+                        files=len(program.modules))
+    for finding in findings:
+        module = by_path.get(finding.path)
+        if module is not None and \
+                module.suppressions.allows(finding.rule, finding.line):
+            report.suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    report.suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report
+
+
+def analyze_paths(paths: Iterable, *, root=None,
+                  policy: Optional[Policy] = None,
+                  overlays: Optional[Dict[str, str]] = None
+                  ) -> FlowReport:
+    """Run the flow rules over every ``*.py`` file under ``paths``.
+
+    ``overlays`` substitutes in-memory sources for repo-relative paths
+    (adding paths not on disk is allowed) — the analysis sees the tree
+    as if those files had been edited.
+    """
+    root = Path(root).resolve() if root is not None else \
+        detect_root(Path.cwd())
+    overlays = dict(overlays or {})
+    files: List[Tuple[str, str]] = []
+    seen = set()
+    for file_path in discover_files(paths, root):
+        relpath = rel_posix(file_path, root)
+        seen.add(relpath)
+        source = overlays.get(relpath)
+        if source is None:
+            source = file_path.read_text(encoding="utf-8")
+        files.append((relpath, source))
+    for relpath in sorted(set(overlays) - seen):
+        files.append((relpath, overlays[relpath]))
+    return analyze_files(files, policy)

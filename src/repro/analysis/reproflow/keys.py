@@ -1,0 +1,149 @@
+"""FLOW-KEY: spawn keys must be pure — content hashes, indices, literals.
+
+``spawn(key)`` is the reproducibility hinge: a substream is a pure
+function of (root identity, key), so results are bit-stable exactly as
+long as the *key* is.  A key derived from ``time.*``, ``id()``,
+``os.getpid()``, ``hash()`` (salted per process unless PYTHONHASHSEED
+is pinned), ``uuid``/``random``/``secrets``, or the iteration order of
+a ``set`` silently re-keys every replica differently — the substream
+still "works", the logits just stop being a function of the request.
+
+The taint domain is a single ``nondet`` kind.  Sources are the calls
+above (resolved through each module's import aliases, so ``import time
+as _t`` does not hide ``_t.time()``) and loop variables drawn from set
+displays / ``set(...)`` calls.  Taint propagates through arithmetic,
+formatting, containers, and *any* unresolved call (``int(time.time())``
+is still nondeterministic) plus in-program calls via function
+summaries.  A finding fires when a tainted expression reaches an
+argument of ``<streamish>.spawn(...)`` outside the exempt scopes
+(tests and benchmarks, which deliberately exercise hostile keys).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from ..reprolint.core import Finding
+from .callgraph import CallGraph
+from .program import FunctionInfo, Program, scoped_nodes
+from .streams import is_streamy_receiver
+from .taint import Taint, TaintAnalysis, TaintState
+
+RULE_ID = "FLOW-KEY"
+
+_NONDET = "nondet"
+
+#: Dotted-prefix sources: any call under these modules is nondet.
+_SOURCE_PREFIXES = ("time.", "uuid.", "random.", "secrets.")
+
+#: Exact dotted sources under modules that are otherwise fine.
+_SOURCE_CALLS = {
+    "os.getpid", "os.getppid", "os.urandom", "os.times",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+#: Builtin name calls that are nondeterministic per process.
+_SOURCE_BUILTINS = {"id", "hash"}
+
+
+def _set_like(node: ast.AST) -> bool:
+    """Set display or direct set()/frozenset() construction."""
+    if isinstance(node, ast.Set):
+        return True
+    return isinstance(node, ast.Call) and \
+        isinstance(node.func, ast.Name) and \
+        node.func.id in ("set", "frozenset")
+
+
+class KeyPurity(TaintAnalysis):
+    """The FLOW-KEY taint domain (see module docstring)."""
+
+    def seeds(self, func: FunctionInfo) -> bool:
+        module = self.program.module_of(func)
+        for node in func.body_nodes():
+            if isinstance(node, ast.Call) and \
+                    self._source_reason(module, node) is not None:
+                return True
+            if isinstance(node, (ast.For, ast.AsyncFor)) and \
+                    _set_like(node.iter):
+                return True
+            if isinstance(node, ast.comprehension) and \
+                    _set_like(node.iter):
+                return True
+        return False
+
+    def _source_reason(self, module, call: ast.Call) -> Optional[str]:
+        target = call.func
+        if isinstance(target, ast.Name):
+            if target.id in _SOURCE_BUILTINS:
+                return f"{target.id}()"
+            return None
+        origin = module.ctx.resolve(target)
+        if origin is None:
+            return None
+        if origin in _SOURCE_CALLS or \
+                any(origin.startswith(p) for p in _SOURCE_PREFIXES):
+            return f"{origin}()"
+        return None
+
+    def call_taint(self, func: FunctionInfo, call: ast.Call,
+                   arg_taint: TaintState,
+                   env: Dict[str, TaintState]) -> Optional[Taint]:
+        reason = self._source_reason(self.program.module_of(func), call)
+        if reason is not None:
+            return Taint(_NONDET, f"{reason} (line {call.lineno})")
+        return None
+
+    def _element_taint(self, func: FunctionInfo, iterable: ast.AST,
+                       taint: TaintState) -> TaintState:
+        if _set_like(iterable):
+            merged = TaintState(list(taint))
+            merged.add(Taint(
+                _NONDET, f"iteration over a set (line {iterable.lineno})"))
+            return merged
+        return taint
+
+    def unknown_call_propagates(self) -> bool:
+        return True  # int(time.time()) is still nondeterministic
+
+    # -- findings -------------------------------------------------------
+    def findings(self) -> Iterator[Finding]:
+        for fid in sorted(self.active):
+            func = self.program.functions.get(fid)
+            if func is None:
+                continue
+            module = self.program.module_of(func)
+            if self.program.policy.exempt_from_key_purity(
+                    module.relpath, func.qualname):
+                continue
+            env = self.envs.get(fid, {})
+            for node in func.body_nodes():
+                if not isinstance(node, ast.Call) or \
+                        not is_streamy_receiver(node):
+                    continue
+                if node.func.attr != "spawn":
+                    continue
+                for arg in list(node.args) + \
+                        [k.value for k in node.keywords]:
+                    state = self._eval(func, arg, env)
+                    taint = state.get(_NONDET)
+                    if taint is not None:
+                        snippet = module.ctx.line(node.lineno).strip()
+                        yield Finding(
+                            RULE_ID, module.relpath, node.lineno,
+                            node.col_offset,
+                            f"spawn key derives from a nondeterministic "
+                            f"source: {taint.reason}; keys must be "
+                            f"content hashes, indices, or literals",
+                            snippet)
+                        break
+
+
+def check_key_purity(program: Program, graph: CallGraph) -> List[Finding]:
+    analysis = KeyPurity(program, graph)
+    analysis.run()
+    found = list(analysis.findings())
+    found.sort(key=lambda f: (f.path, f.line, f.col))
+    return found

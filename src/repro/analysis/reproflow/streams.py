@@ -1,0 +1,196 @@
+"""FLOW-STREAM: live stream references must not escape the draw owners.
+
+SUB-DRAW (reprolint) flags *draw calls* outside the owner modules, but
+it is file-local: a helper in ``serve/`` that merely threads a raw
+stream through two hops — never drawing itself — hands downstream code
+a live object whose draw order depends on everything that touched it.
+This rule tracks the stream *identity* interprocedurally instead:
+
+* **sources** — any ``<x>.stream`` attribute read (the repo-wide
+  convention for the live stream slot on configs) and any parameter
+  literally named ``stream``; both carry the ``raw`` kind.
+* **cleansing** — ``<recv>.spawn(key)`` returns a ``keyed`` substream:
+  a pure function of root identity and key, legal to pass, store, and
+  hand to the engine internals anywhere.  Freshly constructed streams
+  (``SoftwareStream(...)``) are clean too — they are not shared yet.
+* **benign uses** — introspection builtins (``isinstance``, ``type``,
+  attribute reads like ``stream.seed``) and container packaging; known
+  in-program callees are never escape points because the pass analyzes
+  them transitively (taint follows the argument into the callee's
+  parameters and findings fire at the *real* misuse, if any).
+* **findings** (outside ``Policy.flow_stream_scopes``): a ``raw``
+  value passed to an *unresolved* callee, stored into an attribute or
+  subscript (escaping into a heap the pass cannot see), or used as the
+  receiver of a draw call (``integers`` / ``integers_bulk`` / ``draw``
+  through an alias SUB-DRAW's name heuristic cannot match).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from ..reprolint.core import Finding
+from ..reprolint.rules.substream import _terminal_name
+from .callgraph import CallGraph
+from .program import FunctionInfo, Program, scoped_nodes
+from .taint import (
+    INSPECTION_BUILTINS,
+    PASSTHROUGH_BUILTINS,
+    Taint,
+    TaintAnalysis,
+    TaintState,
+)
+
+RULE_ID = "FLOW-STREAM"
+
+_RAW = "raw"
+_KEYED = "keyed"
+_DRAW_METHODS = {"integers", "integers_bulk", "draw"}
+
+
+def _display(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except (ValueError, RecursionError):  # pragma: no cover
+        return "<expr>"
+
+
+class StreamEscape(TaintAnalysis):
+    """The FLOW-STREAM taint domain (see module docstring)."""
+
+    def seeds(self, func: FunctionInfo) -> bool:
+        for node in func.body_nodes():
+            if isinstance(node, ast.Attribute) and node.attr == "stream" \
+                    and isinstance(node.ctx, ast.Load):
+                return True
+        return False
+
+    def param_taint(self, func: FunctionInfo,
+                    name: str) -> Optional[Taint]:
+        if name == "stream":
+            return Taint(_RAW, f"parameter 'stream' of "
+                               f"{func.qualname or '<module>'}")
+        return None
+
+    def attribute_taint(self, func: FunctionInfo,
+                        node: ast.Attribute) -> Optional[Taint]:
+        if node.attr == "stream" and isinstance(node.ctx, ast.Load):
+            return Taint(_RAW, f"live stream "
+                               f"'{_display(node)}' (line {node.lineno})")
+        return None
+
+    def call_taint(self, func: FunctionInfo, call: ast.Call,
+                   arg_taint: TaintState,
+                   env: Dict[str, TaintState]) -> Optional[Taint]:
+        target = call.func
+        if isinstance(target, ast.Attribute) and target.attr == "spawn":
+            receiver = self._eval(func, target.value, env)
+            if receiver.get(_RAW) or receiver.get(_KEYED):
+                return Taint(_KEYED,
+                             f"spawn(...) result (line {call.lineno})")
+        return None
+
+    def unknown_call_propagates(self) -> bool:
+        # identity domain: replace(cfg, stream=s) returns a config, not
+        # the stream — re-reading cfg.stream re-taints on its own
+        return False
+
+    # -- findings -------------------------------------------------------
+    def findings(self) -> Iterator[Finding]:
+        for fid in sorted(self.active):
+            func = self.program.functions.get(fid)
+            if func is None:
+                continue
+            module = self.program.module_of(func)
+            if self.program.policy.allows_live_stream(
+                    module.relpath, func.qualname):
+                continue
+            env = self.envs.get(fid, {})
+            for node in func.body_nodes():
+                if isinstance(node, ast.Call):
+                    yield from self._check_call(func, module, node, env)
+                elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    yield from self._check_store(func, module, node, env)
+
+    def _raw_reason(self, func: FunctionInfo, node: ast.AST,
+                    env) -> Optional[str]:
+        state = self._eval(func, node, env)
+        taint = state.get(_RAW)
+        return taint.reason if taint else None
+
+    def _check_call(self, func: FunctionInfo, module, call: ast.Call,
+                    env) -> Iterator[Finding]:
+        target = call.func
+        if isinstance(target, ast.Attribute):
+            if target.attr == "spawn":
+                return  # the sanctioned cleansing operation
+            if target.attr in _DRAW_METHODS:
+                reason = self._raw_reason(func, target.value, env)
+                if reason is not None:
+                    yield self._finding(
+                        module, call,
+                        f"draw '{_display(target)}(...)' on an escaped "
+                        f"live stream ({reason}); only the draw owners "
+                        f"may consume raw draws — derive a keyed "
+                        f"substream via spawn(key)")
+                return
+        site = self.graph.site(call)
+        if site is not None and site.callee in self.program.functions:
+            return  # analyzed transitively; findings fire at real misuse
+        name = target.id if isinstance(target, ast.Name) else ""
+        if name in INSPECTION_BUILTINS or name in PASSTHROUGH_BUILTINS:
+            return
+        for arg in list(call.args) + [k.value for k in call.keywords]:
+            reason = self._raw_reason(func, arg, env)
+            if reason is not None:
+                callee = _display(target)
+                yield self._finding(
+                    module, call,
+                    f"raw stream ({reason}) escapes into unresolved "
+                    f"call '{callee}(...)'; pass a keyed substream "
+                    f"from spawn(key) instead")
+                return
+
+    def _check_store(self, func: FunctionInfo, module, node,
+                     env) -> Iterator[Finding]:
+        value = node.value
+        if value is None:
+            return
+        reason = self._raw_reason(func, value, env)
+        if reason is None:
+            return
+        targets = node.targets if isinstance(node, ast.Assign) \
+            else [node.target]
+        for target in targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                yield self._finding(
+                    module, node,
+                    f"raw stream ({reason}) stored into "
+                    f"'{_display(target)}' — live streams must not "
+                    f"escape into shared state; store a spawn(key) "
+                    f"substream instead")
+                return
+
+    def _finding(self, module, node, message: str) -> Finding:
+        snippet = module.ctx.line(node.lineno).strip()
+        return Finding(RULE_ID, module.relpath, node.lineno,
+                       node.col_offset, message, snippet)
+
+
+def check_stream_escapes(program: Program,
+                         graph: CallGraph) -> List[Finding]:
+    analysis = StreamEscape(program, graph)
+    analysis.run()
+    found = list(analysis.findings())
+    found.sort(key=lambda f: (f.path, f.line, f.col))
+    return found
+
+
+def is_streamy_receiver(call: ast.Call) -> bool:
+    """``<x>.spawn(...)`` where the receiver's terminal name says
+    stream (shared with FLOW-KEY)."""
+    from ..reprolint.rules.substream import _STREAMY
+    if not isinstance(call.func, ast.Attribute):
+        return False
+    return bool(_STREAMY.search(_terminal_name(call.func.value)))

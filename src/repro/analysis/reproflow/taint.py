@@ -1,0 +1,385 @@
+"""Flow-insensitive interprocedural taint propagation.
+
+The two stream-domain rules (FLOW-STREAM, FLOW-KEY) share one engine:
+a value domain of at most a few :class:`Taint` kinds, environments
+mapping local names to taints, a per-class environment for
+``self.<attr>`` stores, and function summaries (taint flowing *into*
+each parameter from call sites, taint flowing *out of* returns).  The
+engine runs a worklist to a fixpoint:
+
+1. seed — functions whose AST contains a syntactic source (subclass
+   hook :meth:`seeds`) enter the worklist;
+2. process — evaluate every expression in the function under the
+   current environment; record parameter contributions at resolved
+   call sites and attribute contributions at ``self.x = ...`` stores;
+3. ripple — a changed parameter summary re-queues the callee, a
+   changed return summary re-queues the callers, a changed class
+   attribute re-queues the class's methods.
+
+Everything is monotone (taints are only ever added, never removed), so
+the fixpoint exists and the worklist terminates; a sweep cap guards
+against bugs rather than theory.  Precision choices are the pragmatic
+AutoAlias ones: instances of a class are conflated, containers carry
+their elements' taint, attribute reads are untainted unless a subclass
+says otherwise, and flow within a function ignores statement order.
+Subclasses implement the domain: what seeds taint, how calls transform
+it, and — after the fixpoint — which uses of a tainted value are
+findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .callgraph import CallGraph
+from .program import FunctionInfo, Program, scoped_nodes
+
+#: Builtins whose result simply repackages their arguments — taint
+#: passes through, and passing a tainted value to them is never an
+#: escape by itself (the repackaged value's later use is what counts).
+PASSTHROUGH_BUILTINS = {
+    "list", "tuple", "set", "frozenset", "dict", "sorted", "reversed",
+    "enumerate", "zip", "iter", "next", "min", "max", "sum", "abs",
+    "filter", "map", "getattr", "vars", "copy",
+}
+
+#: Builtins that only inspect their argument; their result is clean
+#: and handing them a tainted value is always benign.
+INSPECTION_BUILTINS = {
+    "isinstance", "issubclass", "type", "id", "len", "repr", "str",
+    "format", "print", "hasattr", "callable", "bool", "hash",
+}
+
+_CONTAINERS = (ast.Tuple, ast.List, ast.Set)
+
+
+@dataclass(frozen=True)
+class Taint:
+    """One tainted value: a domain-specific kind plus a human reason."""
+
+    kind: str
+    reason: str
+
+
+class TaintState:
+    """A monotone set of taints keyed by kind (first reason wins)."""
+
+    __slots__ = ("kinds",)
+
+    def __init__(self, taints: Iterable[Taint] = ()):
+        self.kinds: Dict[str, Taint] = {}
+        for taint in taints:
+            self.add(taint)
+
+    def add(self, taint: Optional[Taint]) -> bool:
+        if taint is None or taint.kind in self.kinds:
+            return False
+        self.kinds[taint.kind] = taint
+        return True
+
+    def merge(self, other: Optional["TaintState"]) -> bool:
+        if not other:
+            return False
+        changed = False
+        for taint in other.kinds.values():
+            changed |= self.add(taint)
+        return changed
+
+    def get(self, kind: str) -> Optional[Taint]:
+        return self.kinds.get(kind)
+
+    def __bool__(self) -> bool:
+        return bool(self.kinds)
+
+    def __iter__(self) -> Iterator[Taint]:
+        return iter(self.kinds.values())
+
+
+class FunctionSummary:
+    """Taint crossing one function's boundary."""
+
+    __slots__ = ("params", "returns")
+
+    def __init__(self):
+        self.params: Dict[str, TaintState] = {}
+        self.returns = TaintState()
+
+    def add_param(self, name: str, taint: Optional[Taint]) -> bool:
+        if taint is None:
+            return False
+        return self.params.setdefault(name, TaintState()).add(taint)
+
+
+class TaintAnalysis:
+    """Base class: run :meth:`run`, then ask :meth:`taint_of` anywhere."""
+
+    #: sweep cap; the worklist normally drains long before this.
+    MAX_ROUNDS = 64
+
+    def __init__(self, program: Program, graph: CallGraph):
+        self.program = program
+        self.graph = graph
+        self.summaries: Dict[str, FunctionSummary] = {}
+        self.attr_env: Dict[Tuple[str, str], TaintState] = {}
+        self.envs: Dict[str, Dict[str, TaintState]] = {}
+        self.active: Set[str] = set()
+
+    # -- subclass hooks -------------------------------------------------
+    def seeds(self, func: FunctionInfo) -> bool:
+        """Does this function syntactically contain a taint source?"""
+        raise NotImplementedError
+
+    def param_taint(self, func: FunctionInfo,
+                    name: str) -> Optional[Taint]:
+        """Name-convention taint for a parameter (e.g. ``stream``)."""
+        return None
+
+    def attribute_taint(self, func: FunctionInfo,
+                        node: ast.Attribute) -> Optional[Taint]:
+        """Taint introduced by reading an attribute (e.g. ``.stream``)."""
+        return None
+
+    def call_taint(self, func: FunctionInfo, call: ast.Call,
+                   arg_taint: TaintState,
+                   env: Dict[str, TaintState]) -> Optional[Taint]:
+        """Taint introduced or transformed by a call (sources like
+        ``time.time()``; ``spawn`` results).  ``arg_taint`` is the union
+        over the call's arguments; ``env`` lets the hook evaluate the
+        receiver of a method call."""
+        return None
+
+    def unknown_call_propagates(self) -> bool:
+        """Does an unresolved call's result carry its arguments' taint?
+        True for value-ish domains (a nondet int survives ``int()``),
+        False for identity domains (``replace(cfg, ...)`` returns a
+        config, not the stream that escaped into it)."""
+        return True
+
+    # -- engine ---------------------------------------------------------
+    def run(self) -> None:
+        worklist: List[str] = []
+        for fid, func in self.program.functions.items():
+            if self.seeds(func) or any(
+                    self.param_taint(func, name) for name in func.params):
+                worklist.append(fid)
+        queued = set(worklist)
+        rounds = 0
+        while worklist and rounds < self.MAX_ROUNDS * max(
+                1, len(self.program.functions)):
+            rounds += 1
+            fid = worklist.pop()
+            queued.discard(fid)
+            for ripple in self._process(fid):
+                if ripple not in queued and ripple in self.program.functions:
+                    queued.add(ripple)
+                    worklist.append(ripple)
+
+    def _process(self, fid: str) -> Set[str]:
+        func = self.program.functions[fid]
+        self.active.add(fid)
+        ripples: Set[str] = set()
+        env = self._seed_env(func)
+        bindings = _bindings(func)
+        # local fixpoint: names feed names, order-insensitively
+        for _ in range(10):
+            changed = False
+            for names, expr, unpacks in bindings:
+                taint = self._eval(func, expr, env)
+                if unpacks:
+                    taint = self._element_taint(func, expr, taint)
+                for name in names:
+                    state = env.setdefault(name, TaintState())
+                    changed |= state.merge(taint)
+            if not changed:
+                break
+        self.envs[fid] = env
+        summary = self.summaries.setdefault(fid, FunctionSummary())
+        cls = self.program.class_of(func)
+        # full sweep: every expression once, recording boundary flow
+        for node in func.body_nodes():
+            if isinstance(node, ast.Call):
+                ripples |= self._record_call(func, node, env)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                if summary.returns.merge(self._eval(func, node.value, env)):
+                    ripples |= self.graph.callers.get(fid, set())
+            elif isinstance(node, ast.Assign) and cls is not None:
+                taint = self._eval(func, node.value, env)
+                if taint:
+                    for target in node.targets:
+                        if isinstance(target, ast.Attribute) and \
+                                isinstance(target.value, ast.Name) and \
+                                target.value.id == func.self_name:
+                            key = (cls.cid, target.attr)
+                            state = self.attr_env.setdefault(
+                                key, TaintState())
+                            if state.merge(taint):
+                                ripples |= set(cls.methods.values())
+        return ripples
+
+    def _seed_env(self, func: FunctionInfo) -> Dict[str, TaintState]:
+        env: Dict[str, TaintState] = {}
+        summary = self.summaries.setdefault(func.fid, FunctionSummary())
+        for name in func.params:
+            state = TaintState()
+            state.add(self.param_taint(func, name))
+            state.merge(summary.params.get(name))
+            if state:
+                env[name] = state
+        return env
+
+    def _record_call(self, func: FunctionInfo, call: ast.Call,
+                     env: Dict[str, TaintState]) -> Set[str]:
+        site = self.graph.site(call)
+        if site is None or site.callee is None:
+            return set()
+        callee = self.program.functions.get(site.callee)
+        if callee is None:
+            return set()
+        summary = self.summaries.setdefault(site.callee, FunctionSummary())
+        params = list(callee.params)
+        if site.kind in ("method", "init") and params:
+            params = params[1:]
+        changed = False
+        for index, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                break
+            taint = self._eval(func, arg, env)
+            if taint and index < len(params):
+                for one in taint:
+                    changed |= summary.add_param(params[index], one)
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                continue
+            taint = self._eval(func, keyword.value, env)
+            if taint and keyword.arg in callee.params:
+                for one in taint:
+                    changed |= summary.add_param(keyword.arg, one)
+        return {site.callee} if changed else set()
+
+    # -- expression evaluation -----------------------------------------
+    def taint_of(self, func: FunctionInfo,
+                 node: ast.AST) -> Optional[TaintState]:
+        """Post-fixpoint taint of an expression (None when clean)."""
+        state = self._eval(func, node, self.envs.get(func.fid, {}))
+        return state if state else None
+
+    def _eval(self, func: FunctionInfo, node: ast.AST,
+              env: Dict[str, TaintState]) -> TaintState:
+        state = TaintState()
+        if isinstance(node, ast.Name):
+            state.merge(env.get(node.id))
+        elif isinstance(node, ast.Attribute):
+            state.add(self.attribute_taint(func, node))
+            cls = self.program.class_of(func)
+            if cls is not None and isinstance(node.value, ast.Name) \
+                    and node.value.id == func.self_name:
+                state.merge(self.attr_env.get((cls.cid, node.attr)))
+        elif isinstance(node, ast.Call):
+            state.merge(self._eval_call(func, node, env))
+        elif isinstance(node, _CONTAINERS):
+            for elt in node.elts:
+                state.merge(self._eval(func, elt, env))
+        elif isinstance(node, ast.Dict):
+            for value in node.values:
+                if value is not None:
+                    state.merge(self._eval(func, value, env))
+        elif isinstance(node, ast.BinOp):
+            state.merge(self._eval(func, node.left, env))
+            state.merge(self._eval(func, node.right, env))
+        elif isinstance(node, ast.BoolOp):
+            for value in node.values:
+                state.merge(self._eval(func, value, env))
+        elif isinstance(node, (ast.UnaryOp,)):
+            state.merge(self._eval(func, node.operand, env))
+        elif isinstance(node, ast.IfExp):
+            state.merge(self._eval(func, node.body, env))
+            state.merge(self._eval(func, node.orelse, env))
+        elif isinstance(node, (ast.Starred, ast.Await)):
+            state.merge(self._eval(func, node.value, env))
+        elif isinstance(node, ast.Subscript):
+            state.merge(self._eval(func, node.value, env))
+        elif isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    state.merge(self._eval(func, value.value, env))
+        elif isinstance(node, ast.NamedExpr):
+            state.merge(self._eval(func, node.value, env))
+        elif isinstance(node, (ast.ListComp, ast.SetComp,
+                               ast.GeneratorExp, ast.DictComp)):
+            inner = dict(env)
+            for comp in node.generators:
+                taint = self._element_taint(
+                    func, comp.iter, self._eval(func, comp.iter, inner))
+                for name in _target_names(comp.target):
+                    inner.setdefault(name, TaintState()).merge(taint)
+            if isinstance(node, ast.DictComp):
+                state.merge(self._eval(func, node.value, inner))
+            else:
+                state.merge(self._eval(func, node.elt, inner))
+        return state
+
+    def _eval_call(self, func: FunctionInfo, call: ast.Call,
+                   env: Dict[str, TaintState]) -> TaintState:
+        arg_taint = TaintState()
+        for arg in call.args:
+            arg_taint.merge(self._eval(func, arg, env))
+        for keyword in call.keywords:
+            arg_taint.merge(self._eval(func, keyword.value, env))
+        state = TaintState()
+        site = self.graph.site(call)
+        if site is not None and site.callee in self.summaries:
+            state.merge(self.summaries[site.callee].returns)
+        if site is None or site.callee is None:
+            name = call.func.id if isinstance(call.func, ast.Name) else ""
+            if name in INSPECTION_BUILTINS:
+                pass
+            elif name in PASSTHROUGH_BUILTINS:
+                state.merge(arg_taint)
+            elif self.unknown_call_propagates():
+                state.merge(arg_taint)
+        state.add(self.call_taint(func, call, arg_taint, env))
+        return state
+
+    def _element_taint(self, func: FunctionInfo, iterable: ast.AST,
+                       taint: TaintState) -> TaintState:
+        """Taint of one element drawn from ``iterable`` (hook point for
+        set-iteration sources; containers pass element taint through)."""
+        return taint
+
+
+def _target_names(target: ast.AST) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+def _bindings(func: FunctionInfo):
+    """(names, value expr, unpacks-one-element) triples for every local
+    name binding in the function body."""
+    out = []
+    for node in func.body_nodes():
+        if isinstance(node, ast.Assign):
+            names = [name for target in node.targets
+                     for name in _target_names(target)]
+            if names:
+                out.append((names, node.value, False))
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            out.append((list(_target_names(node.target)), node.value, False))
+        elif isinstance(node, ast.AugAssign):
+            out.append((list(_target_names(node.target)), node.value, False))
+        elif isinstance(node, ast.NamedExpr):
+            out.append((list(_target_names(node.target)), node.value, False))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            out.append((list(_target_names(node.target)), node.iter, True))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    out.append((list(_target_names(item.optional_vars)),
+                                item.context_expr, False))
+    return out

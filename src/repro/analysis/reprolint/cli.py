@@ -4,6 +4,13 @@ Exit status: 0 when every finding is suppressed or baselined, 1 when
 new findings remain, 2 on usage errors.  The default path set is the
 full contract surface (``src benchmarks tools examples``), so CI and
 the tier-1 self-run invoke it with no arguments beyond ``--format``.
+
+``--flow`` additionally runs the whole-program reproflow pass
+(FLOW-STREAM, FLOW-KEY, LOCK-ORDER) over the same files; its findings
+merge into the same report, baseline, and exit code.  ``--callgraph``
+/ ``--lockgraph`` dump the graphs that pass built as JSON artifacts.
+``--jobs N`` fans the per-file rules out over N processes; output is
+byte-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -48,12 +55,28 @@ def build_parser() -> argparse.ArgumentParser:
                              "and exit 0")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
+    parser.add_argument("--flow", action="store_true",
+                        help="also run the whole-program dataflow rules "
+                             "(FLOW-STREAM, FLOW-KEY, LOCK-ORDER)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="lint files with N worker processes "
+                             "(default: 1, serial)")
+    parser.add_argument("--callgraph", metavar="FILE", default=None,
+                        help="write the reproflow call graph to FILE "
+                             "as JSON (requires --flow)")
+    parser.add_argument("--lockgraph", metavar="FILE", default=None,
+                        help="write the reproflow lock graph to FILE "
+                             "as JSON (requires --flow)")
     return parser
 
 
 def _list_rules() -> str:
+    # deferred import: the catalog is the only reason the plain per-file
+    # CLI would ever load the whole-program engine
+    from ..reproflow.engine import FLOW_RULES
     lines = []
-    for rule in all_rules():
+    for rule in list(all_rules()) + sorted(FLOW_RULES,
+                                           key=lambda r: r.id):
         lines.append(f"{rule.id:14} {rule.title}")
         lines.append(f"{'':14} contract: {rule.contract}")
     return "\n".join(lines)
@@ -64,6 +87,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_rules:
         print(_list_rules())
         return 0
+    if (args.callgraph or args.lockgraph) and not args.flow:
+        print("reprolint: --callgraph/--lockgraph require --flow "
+              "(the graphs are built by the whole-program pass)",
+              file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("reprolint: --jobs must be >= 1", file=sys.stderr)
+        return 2
 
     root = Path(args.root).resolve() if args.root else \
         detect_root(Path.cwd())
@@ -73,12 +104,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("reprolint: nothing to lint", file=sys.stderr)
         return 2
 
-    results = lint_paths(paths, root=root)
+    results = lint_paths(paths, root=root, jobs=args.jobs)
     findings: List[Finding] = []
     suppressed: List[Finding] = []
     for result in results:
         findings.extend(result.findings)
         suppressed.extend(result.suppressed)
+
+    if args.flow:
+        # deferred import keeps the per-file fast path light
+        import json
+
+        from ..reproflow.engine import analyze_paths
+        flow = analyze_paths(paths, root=root)
+        findings.extend(flow.findings)
+        suppressed.extend(flow.suppressed)
+        if args.callgraph:
+            Path(args.callgraph).write_text(
+                json.dumps(flow.callgraph, indent=2, sort_keys=True)
+                + "\n", encoding="utf-8")
+        if args.lockgraph:
+            Path(args.lockgraph).write_text(
+                json.dumps(flow.lockgraph, indent=2, sort_keys=True)
+                + "\n", encoding="utf-8")
 
     baseline_path = Path(args.baseline) if args.baseline \
         else root / BASELINE_NAME

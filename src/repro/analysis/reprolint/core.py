@@ -99,20 +99,43 @@ class FileContext:
     """Everything the rules need to know about one source file."""
 
     def __init__(self, path: str, source: str, tree: ast.AST,
-                 policy: Policy, suppressions: Suppressions):
+                 policy: Policy, suppressions: Suppressions,
+                 comments: Optional[Dict[int, str]] = None):
         self.path = path
         self.source = source
         self.lines = source.splitlines()
         self.tree = tree
         self.policy = policy
         self.suppressions = suppressions
-        #: Real comment tokens per line (docstring text excluded).
-        self.comments = comment_lines(source)
-        self._parents: Dict[ast.AST, ast.AST] = {}
-        for parent in ast.walk(tree):
-            for child in ast.iter_child_nodes(parent):
-                self._parents[child] = parent
-        self.imports = _import_aliases(tree)
+        # parents / comments / imports are built on first use: the
+        # per-file rules touch all three, but whole-program passes
+        # (reproflow) construct hundreds of contexts and never ask for
+        # parent links, so the eager walk was pure startup cost.
+        self._comments = comments
+        self._parent_map: Optional[Dict[ast.AST, ast.AST]] = None
+        self._imports: Optional[Dict[str, str]] = None
+
+    @property
+    def comments(self) -> Dict[int, str]:
+        """Real comment tokens per line (docstring text excluded)."""
+        if self._comments is None:
+            self._comments = comment_lines(self.source)
+        return self._comments
+
+    @property
+    def _parents(self) -> Dict[ast.AST, ast.AST]:
+        if self._parent_map is None:
+            self._parent_map = {}
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    self._parent_map[child] = parent
+        return self._parent_map
+
+    @property
+    def imports(self) -> Dict[str, str]:
+        if self._imports is None:
+            self._imports = _import_aliases(self.tree)
+        return self._imports
 
     # -- source access -------------------------------------------------
     def line(self, lineno: int) -> str:
@@ -215,7 +238,8 @@ def lint_source(source: str, path: str,
     ``PARSE-ERROR`` finding instead of raising.
     """
     policy = policy or Policy.default()
-    suppressions = Suppressions.from_source(source)
+    comments = comment_lines(source)
+    suppressions = Suppressions.from_comments(source, comments)
     result = LintResult(path)
     try:
         tree = ast.parse(source)
@@ -225,7 +249,8 @@ def lint_source(source: str, path: str,
             f"could not parse file: {error.msg}",
             (error.text or "").strip()))
         return result
-    ctx = FileContext(path, source, tree, policy, suppressions)
+    ctx = FileContext(path, source, tree, policy, suppressions,
+                      comments=comments)
     for rule in all_rules():
         for finding in rule.check(ctx):
             if suppressions.allows(finding.rule, finding.line):

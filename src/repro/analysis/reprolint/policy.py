@@ -66,6 +66,26 @@ DRAW_OWNER_SCOPES: Tuple[Scope, ...] = (
 #: ``assert`` as their checking mechanism and never run under -O.
 LIBRARY_PREFIXES: Tuple[str, ...] = ("src/",)
 
+#: Scopes where a *live* (un-spawned) stream reference may circulate
+#: freely (reproflow's FLOW-STREAM): the draw owners — code allowed to
+#: consume a stream's draws is allowed to hold the stream — plus the
+#: stochastic-rounding kernel, which the engines hand the stream's
+#: generator to (``rng=getattr(config.stream, "rng", ...)``); its
+#: draws are part of the frozen order the engines own.  SUB-DRAW's
+#: name heuristic cannot see that hand-off, which is exactly why the
+#: escape policy is a separate tuple from the draw policy.
+FLOW_STREAM_SCOPES: Tuple[Scope, ...] = DRAW_OWNER_SCOPES + (
+    Scope("src/repro/fp/quantize.py", "_round_up_mask"),
+)
+
+#: Scopes exempt from spawn-key purity (reproflow's FLOW-KEY): test
+#: and benchmark keys only ever feed throwaway substreams, and both
+#: trees deliberately exercise hostile keys.
+FLOW_KEY_EXEMPT_SCOPES: Tuple[Scope, ...] = (
+    Scope("tests/"),
+    Scope("benchmarks/"),
+)
+
 
 @dataclass(frozen=True)
 class Policy:
@@ -74,6 +94,8 @@ class Policy:
     clock_scopes: Tuple[Scope, ...] = CLOCK_SCOPES
     draw_owner_scopes: Tuple[Scope, ...] = DRAW_OWNER_SCOPES
     library_prefixes: Tuple[str, ...] = LIBRARY_PREFIXES
+    flow_stream_scopes: Tuple[Scope, ...] = FLOW_STREAM_SCOPES
+    flow_key_exempt_scopes: Tuple[Scope, ...] = FLOW_KEY_EXEMPT_SCOPES
 
     @classmethod
     def default(cls) -> "Policy":
@@ -89,6 +111,14 @@ class Policy:
 
     def owns_draws(self, path: str, qualname: str) -> bool:
         return self._covered(self.draw_owner_scopes, path, qualname)
+
+    def allows_live_stream(self, path: str, qualname: str) -> bool:
+        """May this scope hold/pass a raw stream (FLOW-STREAM)?"""
+        return self._covered(self.flow_stream_scopes, path, qualname)
+
+    def exempt_from_key_purity(self, path: str, qualname: str) -> bool:
+        """Is this scope exempt from spawn-key purity (FLOW-KEY)?"""
+        return self._covered(self.flow_key_exempt_scopes, path, qualname)
 
     def is_library(self, path: str) -> bool:
         return any(path.startswith(prefix)

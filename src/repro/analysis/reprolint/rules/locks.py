@@ -14,9 +14,11 @@ The annotation comment (``#: guarded-by: <lockname>``) sits on the
 ``self.<attr> = ...`` line or on a comment line directly above it.
 From then on, *every* write to that attribute from any method of the
 class — plain/augmented/annotated assignment, subscript stores
-(``self._entries[k] = v``), deletes, and calls to known mutator
-methods (``append``, ``popitem``, ``move_to_end``, ...) — must be
-lexically inside a ``with self.<lockname>:`` block.  ``__init__`` is
+(``self._entries[k] = v``), deletes, tuple/list/starred unpacking
+(``self._head, *self._tail = items``), ``for self.<attr> in ...:``
+loop targets, ``with ... as self.<attr>:`` bindings, and calls to
+known mutator methods (``append``, ``popitem``, ``move_to_end``, ...)
+— must be lexically inside a ``with self.<lockname>:`` block.  ``__init__`` is
 exempt (the object is not yet shared).  Reads and writes through
 aliased references are out of scope; keep critical sections short and
 copy state out under the lock, as the existing ``stats()`` methods do.
@@ -82,8 +84,20 @@ def _self_attr(node: ast.AST, self_name: str) -> Optional[str]:
     return None
 
 
+def _flatten_targets(target: ast.AST):
+    """Leaf assignment targets under tuple/list/starred structure."""
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _flatten_targets(element)
+    elif isinstance(target, ast.Starred):
+        yield from _flatten_targets(target.value)
+    else:
+        yield target
+
+
 def _written_attrs(node: ast.AST, self_name: str):
     """(attr, reason) pairs for every self-attribute this node writes."""
+    reason = "write to self.{attr}"
     if isinstance(node, ast.Assign):
         targets = node.targets
     elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
@@ -91,6 +105,15 @@ def _written_attrs(node: ast.AST, self_name: str):
             or isinstance(node, ast.AugAssign) else []
     elif isinstance(node, ast.Delete):
         targets = node.targets
+    elif isinstance(node, (ast.For, ast.AsyncFor)):
+        # `for self.cursor in rows:` rebinds the attr on every pass
+        targets = [node.target]
+        reason = "loop-target write to self.{attr}"
+    elif isinstance(node, (ast.With, ast.AsyncWith)):
+        # `with open(...) as self.fh:` is an attribute store too
+        targets = [item.optional_vars for item in node.items
+                   if item.optional_vars is not None]
+        reason = "with-as write to self.{attr}"
     elif isinstance(node, ast.Call) and \
             isinstance(node.func, ast.Attribute) and \
             node.func.attr in _MUTATORS:
@@ -101,9 +124,10 @@ def _written_attrs(node: ast.AST, self_name: str):
     else:
         return
     for target in targets:
-        attr = _self_attr(target, self_name)
-        if attr is not None:
-            yield attr, f"write to self.{attr}"
+        for leaf in _flatten_targets(target):
+            attr = _self_attr(leaf, self_name)
+            if attr is not None:
+                yield attr, reason.format(attr=attr)
 
 
 def _holds_lock(ctx: FileContext, node: ast.AST, self_name: str,

@@ -67,10 +67,17 @@ class Suppressions:
 
     @classmethod
     def from_source(cls, source: str) -> "Suppressions":
+        return cls.from_comments(source, comment_lines(source))
+
+    @classmethod
+    def from_comments(cls, source: str,
+                      comments: Dict[int, str]) -> "Suppressions":
+        """Build from a precomputed :func:`comment_lines` map, so a
+        caller that already tokenized the file does not pay twice."""
         by_line: Dict[int, Set[str]] = {}
         file_wide: Set[str] = set()
         lines = source.splitlines()
-        for lineno, comment in sorted(comment_lines(source).items()):
+        for lineno, comment in sorted(comments.items()):
             match = _DIRECTIVE.search(comment)
             if not match:
                 continue

@@ -86,6 +86,7 @@ class MicroBatcher:
         # Serializes submit() against close() so no request can land in
         # the queue behind the shutdown sentinel (it would never be
         # drained and its future.result() would block forever).
+        #: lock-order: 60
         self._close_lock = threading.Lock()
         #: guarded-by: _close_lock
         self._closed = False

@@ -71,6 +71,7 @@ class ResponseCache:
         self._misses = self.metrics.counter("cache_misses_total")
         self._evictions = self.metrics.counter("cache_evictions_total")
         self._size = self.metrics.gauge("cache_entries")
+        #: lock-order: 70
         self._lock = threading.Lock()
         #: guarded-by: _lock
         self._entries: "OrderedDict[str, np.ndarray]" = OrderedDict()

@@ -185,7 +185,9 @@ class _Replica:
         self.pid: Optional[int] = None
         self.ready = threading.Event()
         self.fatal: Optional[str] = None
+        #: lock-order: 50
         self._send_lock = threading.Lock()
+        #: lock-order: 40
         self._lock = threading.Lock()
         #: guarded-by: _lock
         self._pending: Dict[int, Future] = {}
@@ -367,8 +369,16 @@ class ReplicaPool:
         self._ctx = multiprocessing.get_context(start_method)
         self._started = time.monotonic()
 
+        # Canonical serving-tier lock order (DESIGN.md section 14):
+        # outermost first, and a thread may only acquire a lock with a
+        # *larger* order number than any lock it already holds.
+        # reproflow's LOCK-ORDER rule cross-checks these pins against
+        # the acquisition edges it infers from the code.
+        #: lock-order: 20
         self._route_lock = threading.Lock()
+        #: lock-order: 30
         self._stats_lock = threading.Lock()
+        #: lock-order: 10
         self._reload_lock = threading.Lock()
         # Router-side metrics live in the pool's own registry under
         # ``router_*`` / ``pool_*`` names, *distinct* from the

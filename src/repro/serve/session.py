@@ -353,6 +353,7 @@ class InferenceSession:
         self.fingerprint = fingerprint
         self.metrics = registry if registry is not None \
             else MetricsRegistry()
+        #: lock-order: 80
         self._lock = threading.Lock()
         scheduler = TileScheduler(workers=self.workers, tile_rows=tile_rows,
                                   backend=backend)

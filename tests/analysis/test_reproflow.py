@@ -1,0 +1,617 @@
+"""reproflow: program model, call graph, flow rules, and the self-run.
+
+Mirrors the reprolint test layout, one layer up:
+
+* **fixture programs** — small multi-module virtual trees per rule,
+  fed to :func:`analyze_files` so interprocedural behavior (summaries,
+  call-graph edges, lock propagation) is what is under test;
+* **seeded mutations** — insert a stream pass-through helper, a
+  time-derived spawn key, and an inverted lock nesting into the *real*
+  tree (via source overlays, nothing touches disk) and require exactly
+  the expected finding;
+* **the repo-wide self-run** — the full tree must be flow-clean, the
+  serve-tier lock graph must match the hand-audited edge set, and the
+  whole pass must stay inside its two-second budget.
+"""
+
+import json
+import time as _time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.reproflow import (
+    FLOW_RULES,
+    analyze_files,
+    analyze_paths,
+    build_callgraph,
+    build_program,
+    module_name,
+)
+from repro.analysis.reprolint.cli import main as cli_main
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+#: Virtual library paths — outside every policy whitelist.
+LIB = "src/repro/somepkg/a.py"
+LIB_B = "src/repro/somepkg/b.py"
+#: A draw-owner path (policy allows live streams there).
+OWNER = "src/repro/emu/engine.py"
+
+
+def flow(*files):
+    """Rule ids over a virtual (relpath, source) tree, sorted."""
+    report = analyze_files(list(files))
+    return [f.rule for f in report.findings]
+
+
+def flow_findings(*files):
+    return analyze_files(list(files)).findings
+
+
+# ----------------------------------------------------------------------
+# Program model
+# ----------------------------------------------------------------------
+class TestProgram:
+    def test_module_names(self):
+        assert module_name("src/repro/serve/pool.py") == "repro.serve.pool"
+        assert module_name("src/repro/__init__.py") == "repro"
+        assert module_name("benchmarks/bench_x.py") == "benchmarks.bench_x"
+        assert module_name("tools/check_docs.py") == "tools.check_docs"
+
+    def test_nested_defs_are_separate_functions(self):
+        src = ("def outer():\n"
+               "    def inner():\n"
+               "        pass\n"
+               "    return inner\n")
+        program = build_program([(LIB, src)])
+        fids = set(program.functions)
+        assert "repro.somepkg.a.outer" in fids
+        assert "repro.somepkg.a.outer.inner" in fids
+
+    def test_relative_import_aliases_resolve(self):
+        pkg = "src/repro/somepkg/__init__.py"
+        src = "from .a import helper\n"
+        program = build_program([(pkg, ""),
+                                 (LIB, "def helper():\n    pass\n"),
+                                 ("src/repro/somepkg/c.py", src)])
+        module = program.modules["repro.somepkg.c"]
+        assert module.aliases["helper"] == "repro.somepkg.a.helper"
+
+    def test_resolve_symbol_chases_package_reexport(self):
+        pkg = ("src/repro/somepkg/__init__.py",
+               "from .a import Widget\n")
+        mod = (LIB, "class Widget:\n    def __init__(self):\n        pass\n")
+        program = build_program([pkg, mod])
+        kind, ident = program.resolve_symbol("repro.somepkg.Widget")
+        assert (kind, ident) == ("class", "repro.somepkg.a.Widget")
+
+
+# ----------------------------------------------------------------------
+# Call graph
+# ----------------------------------------------------------------------
+class TestCallGraph:
+    def edges(self, *files):
+        program = build_program(list(files))
+        return build_callgraph(program).edges
+
+    def test_same_module_function_call(self):
+        src = ("def helper():\n    pass\n"
+               "def caller():\n    helper()\n")
+        edges = self.edges((LIB, src))
+        assert "repro.somepkg.a.helper" in \
+            edges["repro.somepkg.a.caller"]
+
+    def test_self_method_through_base_class(self):
+        src = ("class Base:\n"
+               "    def step(self):\n        pass\n"
+               "class Child(Base):\n"
+               "    def run(self):\n        self.step()\n")
+        edges = self.edges((LIB, src))
+        assert "repro.somepkg.a.Base.step" in \
+            edges["repro.somepkg.a.Child.run"]
+
+    def test_constructor_pinned_attribute_receiver(self):
+        src = ("class Worker:\n"
+               "    def crunch(self):\n        pass\n"
+               "class Owner:\n"
+               "    def __init__(self):\n"
+               "        self.worker = Worker()\n"
+               "    def go(self):\n        self.worker.crunch()\n")
+        edges = self.edges((LIB, src))
+        assert "repro.somepkg.a.Worker.crunch" in \
+            edges["repro.somepkg.a.Owner.go"]
+
+    def test_sibling_method_not_reachable_by_bare_name(self):
+        src = ("class C:\n"
+               "    def helper(self):\n        pass\n"
+               "    def caller(self):\n"
+               "        helper()\n")   # NameError at runtime, not a call
+        edges = self.edges((LIB, src))
+        assert "repro.somepkg.a.C.helper" not in \
+            edges.get("repro.somepkg.a.C.caller", set())
+
+    def test_common_method_names_stay_unresolved(self):
+        src = ("class Registry:\n"
+               "    def get(self, key):\n        pass\n"
+               "def f(d):\n    d.get('x')\n")
+        edges = self.edges((LIB, src))
+        assert "repro.somepkg.a.Registry.get" not in \
+            edges.get("repro.somepkg.a.f", set())
+
+    def test_unique_distinctive_method_resolves(self):
+        src = ("class Pool:\n"
+               "    def redistribute(self):\n        pass\n"
+               "def f(p):\n    p.redistribute()\n")
+        edges = self.edges((LIB, src))
+        assert "repro.somepkg.a.Pool.redistribute" in \
+            edges["repro.somepkg.a.f"]
+
+    def test_cross_module_alias_call(self):
+        a = (LIB, "def shared():\n    pass\n")
+        b = (LIB_B, "from repro.somepkg.a import shared\n"
+                    "def caller():\n    shared()\n")
+        edges = self.edges(a, b)
+        assert "repro.somepkg.a.shared" in \
+            edges["repro.somepkg.b.caller"]
+
+
+# ----------------------------------------------------------------------
+# FLOW-STREAM
+# ----------------------------------------------------------------------
+class TestFlowStream:
+    def test_raw_param_to_unresolved_callee_flagged(self):
+        src = ("import logging\n"
+               "def leak(stream):\n"
+               "    logging.info(stream)\n")
+        assert flow((LIB, src)) == ["FLOW-STREAM"]
+
+    def test_two_hop_escape_fires_at_real_misuse(self):
+        src = ("import logging\n"
+               "def inner(stream):\n"
+               "    logging.info(stream)\n"
+               "def outer(config):\n"
+               "    inner(config.stream)\n")
+        found = flow_findings((LIB, src))
+        assert [f.rule for f in found] == ["FLOW-STREAM"]
+        # the finding lands in the helper that actually leaks, not at
+        # the in-program hand-off (which the pass analyzes through)
+        assert found[0].line == 3
+
+    def test_spawned_substream_is_clean(self):
+        src = ("import logging\n"
+               "def ok(config):\n"
+               "    sub = config.stream.spawn(7)\n"
+               "    logging.info(sub)\n")
+        assert flow((LIB, src)) == []
+
+    def test_inspection_builtins_are_benign(self):
+        src = ("def ok(config):\n"
+               "    if isinstance(config.stream, object):\n"
+               "        return type(config.stream)\n")
+        assert flow((LIB, src)) == []
+
+    def test_draw_through_alias_flagged(self):
+        src = ("def bad(config):\n"
+               "    s = config.stream\n"
+               "    return s.integers(9, (4,))\n")
+        assert flow((LIB, src)) == ["FLOW-STREAM"]
+
+    def test_store_into_attribute_flagged(self):
+        src = ("class Holder:\n"
+               "    def grab(self, config):\n"
+               "        self.cached = config.stream\n")
+        assert flow((LIB, src)) == ["FLOW-STREAM"]
+
+    def test_store_into_subscript_flagged(self):
+        src = ("def stash(config, registry):\n"
+               "    registry['s'] = config.stream\n")
+        assert flow((LIB, src)) == ["FLOW-STREAM"]
+
+    def test_draw_owner_scope_exempt(self):
+        src = ("import logging\n"
+               "def leak(stream):\n"
+               "    logging.info(stream)\n")
+        assert flow((OWNER, src)) == []
+
+    def test_suppression_comment_applies(self):
+        src = ("import logging\n"
+               "def leak(stream):\n"
+               "    logging.info(stream)  "
+               "# reprolint: disable=FLOW-STREAM  debug tap\n")
+        report = analyze_files([(LIB, src)])
+        assert report.findings == []
+        assert [f.rule for f in report.suppressed] == ["FLOW-STREAM"]
+
+
+# ----------------------------------------------------------------------
+# FLOW-KEY
+# ----------------------------------------------------------------------
+class TestFlowKey:
+    def test_time_derived_key_flagged(self):
+        src = ("import time\n"
+               "def bad(stream):\n"
+               "    return stream.spawn(time.time())\n")
+        assert flow((LIB, src)) == ["FLOW-KEY"]
+
+    def test_wrapped_time_key_still_flagged(self):
+        src = ("import time\n"
+               "def bad(stream):\n"
+               "    return stream.spawn(int(time.time() * 1000))\n")
+        assert flow((LIB, src)) == ["FLOW-KEY"]
+
+    def test_id_and_getpid_and_hash_flagged(self):
+        src = ("import os\n"
+               "def a(stream, x):\n    return stream.spawn(id(x))\n"
+               "def b(stream):\n    return stream.spawn(os.getpid())\n"
+               "def c(stream, x):\n    return stream.spawn(hash(x))\n")
+        assert flow((LIB, src)) == ["FLOW-KEY"] * 3
+
+    def test_set_iteration_key_flagged(self):
+        src = ("def bad(stream, names):\n"
+               "    for name in set(names):\n"
+               "        stream.spawn(name)\n")
+        assert flow((LIB, src)) == ["FLOW-KEY"]
+
+    def test_content_hash_key_clean(self):
+        src = ("import hashlib\n"
+               "def ok(stream, payload):\n"
+               "    key = int(hashlib.sha256(payload).hexdigest()[:8], 16)\n"
+               "    return stream.spawn(key)\n")
+        assert flow((LIB, src)) == []
+
+    def test_index_and_literal_keys_clean(self):
+        src = ("def ok(stream, items):\n"
+               "    subs = [stream.spawn(i) for i, _ in enumerate(items)]\n"
+               "    return subs, stream.spawn(42)\n")
+        assert flow((LIB, src)) == []
+
+    def test_interprocedural_nondet_return_flagged(self):
+        src = ("import time\n"
+               "def fresh_key():\n"
+               "    return int(time.monotonic() * 1e6)\n"
+               "def bad(stream):\n"
+               "    return stream.spawn(fresh_key())\n")
+        found = flow_findings((LIB, src))
+        assert [f.rule for f in found] == ["FLOW-KEY"]
+        assert found[0].line == 5
+
+    def test_import_alias_does_not_hide_source(self):
+        src = ("import time as _t\n"
+               "def bad(stream):\n"
+               "    return stream.spawn(_t.time())\n")
+        assert flow((LIB, src)) == ["FLOW-KEY"]
+
+    def test_benchmarks_scope_exempt(self):
+        src = ("import time\n"
+               "def bench(stream):\n"
+               "    return stream.spawn(time.time())\n")
+        assert flow(("benchmarks/bench_keys.py", src)) == []
+
+
+# ----------------------------------------------------------------------
+# LOCK-ORDER
+# ----------------------------------------------------------------------
+_LOCK_HEADER = ("import threading\n"
+                "class S:\n"
+                "    def __init__(self):\n"
+                "        self._a = threading.Lock()\n"
+                "        self._b = threading.Lock()\n")
+
+
+class TestLockOrder:
+    def test_direct_cycle_flagged(self):
+        src = (_LOCK_HEADER +
+               "    def one(self):\n"
+               "        with self._a:\n"
+               "            with self._b:\n"
+               "                pass\n"
+               "    def two(self):\n"
+               "        with self._b:\n"
+               "            with self._a:\n"
+               "                pass\n")
+        assert "LOCK-ORDER" in flow((LIB, src))
+
+    def test_interprocedural_cycle_flagged(self):
+        src = (_LOCK_HEADER +
+               "    def one(self):\n"
+               "        with self._a:\n"
+               "            self.take_b()\n"
+               "    def take_b(self):\n"
+               "        with self._b:\n"
+               "            pass\n"
+               "    def two(self):\n"
+               "        with self._b:\n"
+               "            self.take_a()\n"
+               "    def take_a(self):\n"
+               "        with self._a:\n"
+               "            pass\n")
+        assert "LOCK-ORDER" in flow((LIB, src))
+
+    def test_consistent_nesting_clean(self):
+        src = (_LOCK_HEADER +
+               "    def one(self):\n"
+               "        with self._a:\n"
+               "            with self._b:\n"
+               "                pass\n"
+               "    def two(self):\n"
+               "        with self._a:\n"
+               "            with self._b:\n"
+               "                pass\n")
+        assert flow((LIB, src)) == []
+
+    def test_pin_inversion_flagged_without_cycle(self):
+        src = ("import threading\n"
+               "class S:\n"
+               "    def __init__(self):\n"
+               "        #: lock-order: 10\n"
+               "        self._a = threading.Lock()\n"
+               "        #: lock-order: 20\n"
+               "        self._b = threading.Lock()\n"
+               "    def one(self):\n"
+               "        with self._b:\n"
+               "            with self._a:\n"
+               "                pass\n")
+        found = flow_findings((LIB, src))
+        assert [f.rule for f in found] == ["LOCK-ORDER"]
+        assert "order" in found[0].message
+
+    def test_rlock_reentry_exempt_plain_lock_not(self):
+        rlock = ("import threading\n"
+                 "class S:\n"
+                 "    def __init__(self):\n"
+                 "        self._a = threading.RLock()\n"
+                 "    def outer(self):\n"
+                 "        with self._a:\n"
+                 "            self.inner()\n"
+                 "    def inner(self):\n"
+                 "        with self._a:\n"
+                 "            pass\n")
+        assert flow((LIB, rlock)) == []
+        plain = rlock.replace("RLock", "Lock")
+        assert "LOCK-ORDER" in flow((LIB, plain))
+
+    def test_torn_read_of_two_guarded_attrs_flagged(self):
+        src = ("import threading\n"
+               "class S:\n"
+               "    def __init__(self):\n"
+               "        self._a = threading.Lock()\n"
+               "        #: guarded-by: _a\n"
+               "        self._hits = 0\n"
+               "        #: guarded-by: _a\n"
+               "        self._misses = 0\n"
+               "    def ratio(self):\n"
+               "        return self._hits / (self._hits + self._misses)\n")
+        found = flow_findings((LIB, src))
+        assert [f.rule for f in found] == ["LOCK-ORDER"]
+
+    def test_read_under_lock_clean(self):
+        src = ("import threading\n"
+               "class S:\n"
+               "    def __init__(self):\n"
+               "        self._a = threading.Lock()\n"
+               "        #: guarded-by: _a\n"
+               "        self._hits = 0\n"
+               "        #: guarded-by: _a\n"
+               "        self._misses = 0\n"
+               "    def ratio(self):\n"
+               "        with self._a:\n"
+               "            return self._hits / (self._hits +\n"
+               "                                 self._misses)\n")
+        assert flow((LIB, src)) == []
+
+    def test_rmw_outside_lock_flagged(self):
+        src = ("import threading\n"
+               "class S:\n"
+               "    def __init__(self):\n"
+               "        self._a = threading.Lock()\n"
+               "        #: guarded-by: _a\n"
+               "        self._count = 0\n"
+               "    def bump(self):\n"
+               "        self._count += 1\n")
+        assert flow((LIB, src)) == ["LOCK-ORDER"]
+
+    def test_init_is_exempt(self):
+        src = ("import threading\n"
+               "class S:\n"
+               "    def __init__(self):\n"
+               "        self._a = threading.Lock()\n"
+               "        #: guarded-by: _a\n"
+               "        self._count = 0\n"
+               "        self._count += 1\n")
+        assert flow((LIB, src)) == []
+
+
+# ----------------------------------------------------------------------
+# Artifacts
+# ----------------------------------------------------------------------
+class TestArtifacts:
+    SRC = ("import threading\n"
+           "class S:\n"
+           "    def __init__(self):\n"
+           "        #: lock-order: 10\n"
+           "        self._a = threading.Lock()\n"
+           "        self._b = threading.Lock()\n"
+           "    def one(self):\n"
+           "        with self._a:\n"
+           "            with self._b:\n"
+           "                self.helper()\n"
+           "    def helper(self):\n"
+           "        pass\n")
+
+    def test_callgraph_schema_and_determinism(self):
+        first = analyze_files([(LIB, self.SRC)]).callgraph
+        second = analyze_files([(LIB, self.SRC)]).callgraph
+        assert first == second
+        assert first["tool"] == "reproflow"
+        assert first["artifact"] == "callgraph"
+        assert first["format_version"] == 1
+        assert ["repro.somepkg.a.S.one", "repro.somepkg.a.S.helper"] in \
+            first["edges"]
+        assert first["edges"] == sorted(first["edges"])
+
+    def test_lockgraph_schema(self):
+        export = analyze_files([(LIB, self.SRC)]).lockgraph
+        assert export["tool"] == "reproflow"
+        assert export["artifact"] == "lockgraph"
+        assert export["format_version"] == 1
+        by_attr = {lock["attr"]: lock for lock in export["locks"]}
+        assert by_attr["_a"]["order"] == 10
+        assert by_attr["_b"]["order"] is None
+        assert export["cycles"] == []
+        assert [(e["from"], e["to"]) for e in export["edges"]] == \
+            [("repro.somepkg.a.S._a", "repro.somepkg.a.S._b")]
+
+
+# ----------------------------------------------------------------------
+# Seeded mutations on the real tree
+# ----------------------------------------------------------------------
+SESSION = "src/repro/serve/session.py"
+POOL = "src/repro/serve/pool.py"
+
+
+def mutate(relpath: str, transform):
+    """Flow-analyze src/ with ``relpath``'s source transformed."""
+    source = (REPO / relpath).read_text(encoding="utf-8")
+    mutated = transform(source)
+    assert mutated != source, "mutation did not apply"
+    return analyze_paths(["src"], root=REPO,
+                         overlays={relpath: mutated})
+
+
+class TestSeededMutations:
+    def test_stream_passthrough_helper_caught(self):
+        report = mutate(SESSION, lambda src: src + (
+            "\n\ndef _tap_stream_for_debug(config, sink):\n"
+            "    sink['stream'] = config.stream\n"))
+        assert [f.rule for f in report.findings] == ["FLOW-STREAM"]
+        assert report.findings[0].path == SESSION
+
+    def test_time_derived_spawn_key_caught(self):
+        # time.monotonic is DET-CLOCK-exempt everywhere, so the per-file
+        # pass would stay silent on this — only FLOW-KEY sees it
+        report = mutate(POOL, lambda src: src + (
+            "\n\ndef _respawn_for_debug(stream):\n"
+            "    return stream.spawn(int(time.monotonic() * 1e6))\n"))
+        assert [f.rule for f in report.findings] == ["FLOW-KEY"]
+        assert report.findings[0].path == POOL
+
+    def test_inverted_lock_nesting_caught(self):
+        anchor = "    def stats(self) -> dict:"
+        inverted = ("    def _inverted_snapshot_for_debug(self):\n"
+                    "        with self._stats_lock:\n"
+                    "            with self._route_lock:\n"
+                    "                return None\n\n")
+        report = mutate(POOL,
+                        lambda src: src.replace(anchor, inverted + anchor))
+        assert [f.rule for f in report.findings] == ["LOCK-ORDER"]
+        finding = report.findings[0]
+        assert finding.path == POOL
+        assert "_stats_lock" in finding.message
+
+
+# ----------------------------------------------------------------------
+# Repo-wide self-run, known-good lock graph, and the time budget
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def self_run():
+    paths = [p for p in ("src", "benchmarks", "tools", "examples")
+             if (REPO / p).exists()]
+    start = _time.perf_counter()
+    report = analyze_paths(paths, root=REPO)
+    elapsed = _time.perf_counter() - start
+    return report, elapsed
+
+
+class TestSelfRun:
+    def test_tree_is_flow_clean(self, self_run):
+        report, _ = self_run
+        assert report.findings == [], "\n".join(
+            f"{f.location}: {f.rule} {f.message}"
+            for f in report.findings)
+
+    def test_serve_lock_graph_matches_audit(self, self_run):
+        report, _ = self_run
+        export = report.lockgraph
+        assert export["cycles"] == []
+        edges = {(e["from"], e["to"]) for e in export["edges"]}
+        pool = "repro.serve.pool"
+        expected = {
+            (f"{pool}.ReplicaPool._reload_lock",
+             f"{pool}.ReplicaPool._route_lock"),
+            (f"{pool}.ReplicaPool._reload_lock",
+             f"{pool}.ReplicaPool._stats_lock"),
+            (f"{pool}.ReplicaPool._reload_lock",
+             f"{pool}._Replica._lock"),
+            (f"{pool}.ReplicaPool._reload_lock",
+             f"{pool}._Replica._send_lock"),
+            (f"{pool}.ReplicaPool._route_lock",
+             f"{pool}._Replica._lock"),
+        }
+        assert expected <= edges
+
+    def test_canonical_pins_are_recorded(self, self_run):
+        report, _ = self_run
+        orders = {lock["id"]: lock["order"]
+                  for lock in report.lockgraph["locks"]}
+        pool = "repro.serve.pool"
+        assert orders[f"{pool}.ReplicaPool._reload_lock"] == 10
+        assert orders[f"{pool}.ReplicaPool._route_lock"] == 20
+        assert orders[f"{pool}.ReplicaPool._stats_lock"] == 30
+        assert orders[f"{pool}._Replica._lock"] == 40
+        assert orders[f"{pool}._Replica._send_lock"] == 50
+
+    def test_whole_pass_stays_under_two_seconds(self, self_run):
+        _, elapsed = self_run
+        assert elapsed < 2.0, (
+            f"reproflow took {elapsed:.2f}s over the full tree; the "
+            f"budget is 2s — profile before adding per-node work")
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+class TestCLI:
+    def test_flow_run_is_clean_and_writes_artifacts(self, tmp_path,
+                                                    capsys):
+        callgraph = tmp_path / "callgraph.json"
+        lockgraph = tmp_path / "lockgraph.json"
+        code = cli_main(["--flow", "--root", str(REPO),
+                         "--callgraph", str(callgraph),
+                         "--lockgraph", str(lockgraph)])
+        capsys.readouterr()
+        assert code == 0
+        exported = json.loads(callgraph.read_text())
+        assert exported["artifact"] == "callgraph"
+        assert exported["functions"] > 500
+        exported = json.loads(lockgraph.read_text())
+        assert exported["artifact"] == "lockgraph"
+        assert exported["cycles"] == []
+
+    def test_artifact_flags_require_flow(self, tmp_path, capsys):
+        code = cli_main(["--callgraph", str(tmp_path / "x.json"),
+                        "--root", str(REPO)])
+        capsys.readouterr()
+        assert code == 2
+
+    def test_bad_jobs_value_is_usage_error(self, capsys):
+        code = cli_main(["--jobs", "0", "--root", str(REPO)])
+        capsys.readouterr()
+        assert code == 2
+
+    def test_list_rules_includes_flow_catalog(self, capsys):
+        assert cli_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in FLOW_RULES:
+            assert rule.id in out
+        assert "DET-CLOCK" in out   # per-file catalog still present
+
+    def test_parallel_lint_is_byte_identical(self, tmp_path, capsys):
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        assert cli_main(["--root", str(REPO), "--format", "json",
+                         "--output", str(serial)]) == 0
+        assert cli_main(["--root", str(REPO), "--format", "json",
+                         "--jobs", "4", "--output", str(parallel)]) == 0
+        capsys.readouterr()
+        assert serial.read_bytes() == parallel.read_bytes()

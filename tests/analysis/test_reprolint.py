@@ -251,9 +251,40 @@ class TestLockDiscipline:
         assert rules_of(guarded("self._entries.clear()")) == \
             ["LOCK-WRITE"]
 
+    def test_unlocked_delete_flagged(self):
+        assert rules_of(guarded("del self._entries['k']")) == \
+            ["LOCK-WRITE"]
+
+    def test_unlocked_tuple_unpack_flagged(self):
+        assert rules_of(guarded("self._hits, other = 1, 2")) == \
+            ["LOCK-WRITE"]
+
+    def test_unlocked_list_unpack_flagged(self):
+        assert rules_of(guarded("[self._hits, other] = [1, 2]")) == \
+            ["LOCK-WRITE"]
+
+    def test_unlocked_starred_unpack_flagged(self):
+        assert rules_of(guarded("first, *self._hits = [1, 2, 3]")) == \
+            ["LOCK-WRITE"]
+
+    def test_unlocked_for_target_flagged(self):
+        body = "for self._hits in range(3):\n    pass"
+        assert rules_of(guarded(body)) == ["LOCK-WRITE"]
+
+    def test_unlocked_with_as_flagged(self):
+        body = "with open('x') as self._hits:\n    pass"
+        assert rules_of(guarded(body)) == ["LOCK-WRITE"]
+
     def test_write_under_lock_clean(self):
         body = "with self._lock:\n    self._hits += 1"
         assert rules_of(guarded(body)) == []
+
+    def test_unpack_under_lock_clean(self):
+        body = "with self._lock:\n    self._hits, other = 1, 2"
+        assert rules_of(guarded(body)) == []
+
+    def test_plain_name_unpack_not_flagged(self):
+        assert rules_of(guarded("a, b = 1, 2")) == []
 
     def test_init_is_exempt(self):
         # the annotated initialization itself must not self-flag
